@@ -1,0 +1,56 @@
+"""Ablation A1: barrier implementation vs OpenMP scaling.
+
+DESIGN.md calls out the barrier cost model as a design choice; this bench
+compares centralized-counter (linear), combining-tree (logtree) and an
+idealized constant-latency (flat) barrier on the OpenMP backend's graph.
+The gap between 'linear' and 'flat' bounds how much of the fork-join
+penalty is barrier *latency* rather than straggler waiting.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.backends.costs import LoopCostModel
+from repro.experiments.runner import simulate_backend
+from repro.sim.barriers import BARRIER_MODELS
+from repro.util.tables import Table
+
+_results: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("model", sorted(BARRIER_MODELS))
+def test_barrier_model(benchmark, backend_runs, model):
+    run = backend_runs("openmp")
+    config = PAPER_CONFIG
+    machine = config.machine.with_(barrier_model=model)
+    ablated = type(config)(
+        ni=config.ni,
+        nj=config.nj,
+        niter=config.niter,
+        block_size=config.block_size,
+        threads=config.threads,
+        machine=machine,
+        cost_jitter=config.cost_jitter,
+    )
+    cm = LoopCostModel(jitter=config.cost_jitter)
+    result = benchmark.pedantic(
+        lambda: simulate_backend(run, ablated, 32, cm), rounds=2, iterations=1
+    )
+    _results[model] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < len(BARRIER_MODELS):
+        return
+    table = Table(["barrier model", "simulated ms", "vs flat"])
+    flat = _results["flat"]
+    for model in sorted(_results):
+        table.add_row(
+            [model, _results[model] / 1000.0, f"{_results[model] / flat - 1.0:+.1%}"]
+        )
+    print("\n== ablation A1: barrier cost model (OpenMP backend, 32T) ==")
+    print(table.render())
+    assert _results["flat"] <= _results["logtree"] <= _results["linear"]

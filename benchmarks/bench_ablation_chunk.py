@@ -1,0 +1,53 @@
+"""Ablation A2: static chunk-size sweep for the for_each backend.
+
+The paper's Fig 7 lets the programmer pick a static chunk size. This bench
+sweeps it: too fine pays spawn overhead per chunk, too coarse starves
+threads once plan coloring has already shrunk the per-region block count —
+the classic grain-size trade-off of Grubel et al. (paper ref [6]).
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.backends.costs import LoopCostModel
+from repro.backends.foreach import ForEachBackend
+from repro.experiments.runner import run_backend
+from repro.sim.engine import SimulationEngine
+from repro.util.tables import Table
+
+CHUNKS = [1, 2, 4, 8, 16]
+_results: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module")
+def foreach_log(paper_mesh):
+    run = run_backend("foreach_static", PAPER_CONFIG, paper_mesh, validate=False)
+    return run.log
+
+
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_static_chunk_size(benchmark, foreach_log, cost_model, chunk):
+    backend = ForEachBackend(static_chunking=True, static_chunk=chunk)
+
+    def simulate():
+        graph = backend.emit(foreach_log, PAPER_CONFIG.machine, 32, cost_model)
+        return SimulationEngine(PAPER_CONFIG.machine, 32).run(graph, collect_trace=False)
+
+    result = benchmark.pedantic(simulate, rounds=2, iterations=1)
+    _results[chunk] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < len(CHUNKS):
+        return
+    table = Table(["chunk (blocks)", "simulated ms", "vs best"])
+    best = min(_results.values())
+    for c in CHUNKS:
+        table.add_row([c, _results[c] / 1000.0, f"{_results[c] / best - 1.0:+.1%}"])
+    print("\n== ablation A2: for_each static chunk size (32T) ==")
+    print(table.render())
+    # Coarse chunks must eventually lose: starvation dominates spawn savings.
+    assert _results[CHUNKS[-1]] > best

@@ -1,0 +1,60 @@
+"""Ablation A4: hyperthreading efficiency and the 16-thread knee.
+
+Every paper figure shows a knee at 16 threads (hyperthreading enabled
+beyond the physical core count). This bench sweeps the SMT efficiency
+factor: at 1.0 hyperthreads behave like real cores (no knee), and as the
+factor drops the 32-thread run approaches the 16-thread run — bounding how
+sensitive the reproduced gains are to that single hardware parameter.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.backends.costs import LoopCostModel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import simulate_backend
+from repro.util.tables import Table
+
+SMT_EFFICIENCIES = [0.5, 0.62, 0.8, 1.0]
+_results: dict[tuple[float, int], float] = {}
+
+
+def _config(eff: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        ni=PAPER_CONFIG.ni,
+        nj=PAPER_CONFIG.nj,
+        niter=PAPER_CONFIG.niter,
+        block_size=PAPER_CONFIG.block_size,
+        machine=PAPER_CONFIG.machine.with_(smt_efficiency=eff),
+        cost_jitter=PAPER_CONFIG.cost_jitter,
+    )
+
+
+@pytest.mark.parametrize("threads", [16, 32])
+@pytest.mark.parametrize("eff", SMT_EFFICIENCIES)
+def test_smt_efficiency(benchmark, backend_runs, eff, threads):
+    run = backend_runs("hpx_dataflow")
+    cfg = _config(eff)
+    cm = LoopCostModel(jitter=cfg.cost_jitter)
+    result = benchmark.pedantic(
+        lambda: simulate_backend(run, cfg, threads, cm), rounds=2, iterations=1
+    )
+    _results[(eff, threads)] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < 2 * len(SMT_EFFICIENCIES):
+        return
+    table = Table(["smt efficiency", "16T ms", "32T ms", "32T gain over 16T"])
+    for eff in SMT_EFFICIENCIES:
+        t16 = _results[(eff, 16)]
+        t32 = _results[(eff, 32)]
+        table.add_row([eff, t16 / 1000.0, t32 / 1000.0, f"{t16 / t32 - 1.0:+.1%}"])
+    print("\n== ablation A4: SMT efficiency vs the 16-thread knee (dataflow) ==")
+    print(table.render())
+    # Higher SMT efficiency must monotonically improve the 32T run.
+    t32s = [_results[(e, 32)] for e in SMT_EFFICIENCIES]
+    assert all(a >= b for a, b in zip(t32s, t32s[1:]))

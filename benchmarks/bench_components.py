@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the substrate components.
+
+Not a paper figure — these keep the building blocks honest: the simulation
+engine's event throughput, plan construction, block-dependence refinement,
+the cooperative executor, and the futures/dataflow layer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.backends.blockdeps import block_dependencies
+from repro.backends.costs import LoopCostModel
+from repro.experiments.runner import run_backend
+from repro.hpx.dataflow import dataflow, unwrapped
+from repro.hpx.executor import TaskExecutor
+from repro.hpx.runtime import HPXRuntime, set_runtime
+from repro.op2.plan import build_plan
+from repro.sim.engine import SimulationEngine
+from repro.sim.task import TaskGraph
+
+
+@pytest.fixture(scope="module")
+def dataflow_run(paper_mesh):
+    return run_backend("hpx_dataflow", PAPER_CONFIG, paper_mesh, validate=False)
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule 20k independent tasks on 32 threads."""
+    g = TaskGraph()
+    for i in range(20_000):
+        g.add(f"t{i}", 1.0)
+    engine = SimulationEngine(PAPER_CONFIG.machine, 32)
+    result = benchmark.pedantic(
+        lambda: engine.run(g, collect_trace=False), rounds=3, iterations=1
+    )
+    benchmark.extra_info["tasks"] = result.tasks_executed
+    assert result.tasks_executed == 20_000
+
+
+def test_plan_construction(benchmark, paper_mesh):
+    """Blocking + conflict coloring for the res_calc loop shape."""
+    from repro.op2 import OP_INC, OpDat, op_arg_dat
+
+    res = OpDat("res", paper_mesh.cells, 4)
+    args = [
+        op_arg_dat(res, 0, paper_mesh.pecell, OP_INC),
+        op_arg_dat(res, 1, paper_mesh.pecell, OP_INC),
+    ]
+    plan = benchmark.pedantic(
+        lambda: build_plan(paper_mesh.edges, args, PAPER_CONFIG.block_size),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["nblocks"] = plan.nblocks
+    benchmark.extra_info["ncolors"] = plan.ncolors
+
+
+def test_blockdep_refinement(benchmark, dataflow_run):
+    """adt_calc -> res_calc block-level dependence computation."""
+    loops = dataflow_run.log.loops()
+    adt = next(r for r in loops if r.loop.name == "adt_calc")
+    res = next(r for r in loops if r.loop.name == "res_calc")
+    adt_dat = next(a.dat for a in res.loop.args if a.dat.name == "adt")
+    deps = benchmark.pedantic(
+        lambda: block_dependencies(adt, res, adt_dat), rounds=3, iterations=1
+    )
+    benchmark.extra_info["edges"] = int(sum(len(d) for d in deps))
+
+
+def test_dataflow_emission(benchmark, dataflow_run):
+    """Full task-graph emission for the dataflow backend at 32 threads."""
+    cm = LoopCostModel(jitter=PAPER_CONFIG.cost_jitter)
+    graph = benchmark.pedantic(
+        lambda: dataflow_run.runtime.backend.emit(
+            dataflow_run.log, PAPER_CONFIG.machine, 32, cm
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["tasks"] = len(graph)
+
+
+def test_executor_task_throughput(benchmark):
+    """Spawn + drain 10k no-op tasks on the cooperative executor."""
+
+    def run():
+        ex = TaskExecutor(8)
+        for _ in range(10_000):
+            ex.post(lambda: None)
+        ex.drain()
+        return ex.stats.tasks_executed
+
+    executed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert executed == 10_000
+
+
+def test_dataflow_chain_overhead(benchmark):
+    """1000-node dataflow dependency chain through the futures layer."""
+
+    def run():
+        rt = HPXRuntime(4)
+        prev = set_runtime(rt)
+        try:
+            value = dataflow(lambda: 0)
+            for _ in range(1000):
+                value = dataflow(unwrapped(lambda v: v + 1), value)
+            return value.get()
+        finally:
+            set_runtime(prev)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 1000

@@ -1,0 +1,56 @@
+"""Fig 15: Airfoil execution time under the four strategies.
+
+Regenerates the paper's execution-time comparison: #pragma omp parallel for
+vs for_each vs async vs dataflow across the thread sweep. ``benchmark``
+measures the simulation itself; the reproduced quantity — simulated
+execution time on the modeled 16C/32T node — is attached as ``extra_info``
+and printed as the paper-style table at module teardown.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.experiments.runner import simulate_backend
+from repro.util.tables import Table
+
+BACKENDS = [
+    ("openmp", "omp parallel for"),
+    ("foreach", "for_each"),
+    ("hpx_async", "async"),
+    ("hpx_dataflow", "dataflow"),
+]
+THREADS = [1, 8, 16, 32]
+
+_results: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("backend,label", BACKENDS)
+def test_fig15_exec_time(benchmark, backend_runs, cost_model, backend, label, threads):
+    run = backend_runs(backend)
+
+    def simulate():
+        return simulate_backend(run, PAPER_CONFIG, threads, cost_model)
+
+    result = benchmark.pedantic(simulate, rounds=2, iterations=1)
+    _results[(label, threads)] = result.makespan / 1000.0
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+    benchmark.extra_info["threads"] = threads
+    assert result.makespan > 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if not _results:
+        return
+    table = Table(["threads"] + [label for _, label in BACKENDS])
+    for p in THREADS:
+        row = [p] + [_results.get((label, p), float("nan")) for _, label in BACKENDS]
+        table.add_row(row)
+    print("\n== fig15: Airfoil execution time (simulated ms) ==")
+    print(table.render())
+    t1 = [_results[(label, 1)] for _, label in BACKENDS if (label, 1) in _results]
+    if t1:
+        print(f"1-thread spread: {max(t1) / min(t1) - 1.0:+.1%} "
+              "(paper: same performance on 1 thread)")

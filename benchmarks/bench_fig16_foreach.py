@@ -1,0 +1,58 @@
+"""Fig 16: strong scaling of OpenMP vs for_each auto-chunk vs static-chunk.
+
+Paper claims: the static chunk size beats the auto partitioner on large
+loops (the ~1% serial measurement prefix costs real scalability), and
+OpenMP still performs better than plain for_each.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.experiments.runner import simulate_backend
+from repro.util.tables import Table
+
+BACKENDS = [
+    ("openmp", "omp parallel for"),
+    ("foreach", "for_each auto"),
+    ("foreach_static", "for_each static"),
+]
+THREADS = [1, 16, 32]
+
+_results: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("backend,label", BACKENDS)
+def test_fig16_foreach_chunking(
+    benchmark, backend_runs, cost_model, backend, label, threads
+):
+    run = backend_runs(backend)
+    result = benchmark.pedantic(
+        lambda: simulate_backend(run, PAPER_CONFIG, threads, cost_model),
+        rounds=2,
+        iterations=1,
+    )
+    _results[(label, threads)] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < len(BACKENDS) * len(THREADS):
+        return
+    table = Table(["threads"] + [label for _, label in BACKENDS] + ["speedups"])
+    for p in THREADS:
+        speeds = " / ".join(
+            f"{_results[(label, 1)] / _results[(label, p)]:.2f}"
+            for _, label in BACKENDS
+        )
+        table.add_row([p] + [_results[(label, p)] / 1000.0 for _, label in BACKENDS] + [speeds])
+    print("\n== fig16: OpenMP vs for_each chunking (simulated ms) ==")
+    print(table.render())
+    omp, auto, static = (_results[(label, 32)] for _, label in BACKENDS)
+    print(f"at 32T: static beats auto by {auto / static - 1.0:+.1%} "
+          f"(paper: static > auto); omp vs static {static / omp - 1.0:+.1%} "
+          "(paper: OpenMP still better)")
+    assert static < auto, "static chunking must beat the auto partitioner"
+    assert omp < auto, "OpenMP must beat plain for_each"

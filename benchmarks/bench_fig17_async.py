@@ -1,0 +1,51 @@
+"""Fig 17: strong scaling of OpenMP vs async + for_each(par(task)).
+
+Paper claim: ~5% scalability improvement at 32 threads from returning
+futures per loop and synchronizing only at the programmer-placed get()
+points — idle threads pick up the next loop's blocks instead of waiting at
+a barrier.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_CONFIG
+from repro.experiments.config import PAPER_CLAIMS
+from repro.experiments.runner import simulate_backend
+from repro.sim.metrics import speedup_series
+from repro.util.tables import Table
+
+THREADS = [1, 2, 4, 8, 16, 32]
+_results: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("backend", ["openmp", "hpx_async"])
+def test_fig17_async_scaling(benchmark, backend_runs, cost_model, backend, threads):
+    run = backend_runs(backend)
+    result = benchmark.pedantic(
+        lambda: simulate_backend(run, PAPER_CONFIG, threads, cost_model),
+        rounds=2,
+        iterations=1,
+    )
+    _results[(backend, threads)] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < 2 * len(THREADS):
+        return
+    omp = [_results[("openmp", p)] for p in THREADS]
+    asy = [_results[("hpx_async", p)] for p in THREADS]
+    table = Table(["threads", "omp speedup", "async speedup"])
+    for p, so, sa in zip(
+        THREADS, speedup_series(THREADS, omp), speedup_series(THREADS, asy)
+    ):
+        table.add_row([p, so, sa])
+    print("\n== fig17: strong scaling, OpenMP vs async (speedup vs 1T) ==")
+    print(table.render())
+    gain = omp[-1] / asy[-1] - 1.0
+    print(f"async gain at 32 threads: {gain:+.1%} "
+          f"(paper: ~{PAPER_CLAIMS['async_gain_at_32']:.0%})")
+    assert gain > 0.0, "async must beat OpenMP at 32 threads"

@@ -1,0 +1,71 @@
+"""Fig 19: weak scaling efficiency (problem size grows with thread count).
+
+Paper claim: dataflow has the best weak-scaling efficiency — 'the perfect
+overlap of computation with communication enabled by HPX' — and larger
+per-thread problems recover efficiency for every strategy.
+"""
+
+import pytest
+
+from benchmarks.conftest import WEAK_CONFIG
+from repro.airfoil import generate_mesh
+from repro.airfoil.meshgen import scaled_mesh_dims
+from repro.backends.costs import LoopCostModel
+from repro.experiments.runner import run_backend, simulate_backend
+from repro.sim.metrics import efficiency_series
+from repro.util.tables import Table
+
+BACKENDS = ["openmp", "foreach", "hpx_async", "hpx_dataflow"]
+THREADS = [1, 8, 32]
+
+_results: dict[tuple[str, int], float] = {}
+_mesh_cache: dict[int, object] = {}
+_run_cache: dict[tuple[str, int], object] = {}
+
+
+def _weak_run(backend: str, threads: int):
+    key = (backend, threads)
+    if key not in _run_cache:
+        if threads not in _mesh_cache:
+            ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, threads)
+            _mesh_cache[threads] = generate_mesh(ni=ni, nj=nj)
+        _run_cache[key] = run_backend(
+            backend, WEAK_CONFIG, _mesh_cache[threads], validate=False
+        )
+    return _run_cache[key]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig19_weak_scaling(benchmark, backend, threads):
+    run = _weak_run(backend, threads)
+    cm = LoopCostModel(jitter=WEAK_CONFIG.cost_jitter)
+    result = benchmark.pedantic(
+        lambda: simulate_backend(run, WEAK_CONFIG, threads, cm),
+        rounds=2,
+        iterations=1,
+    )
+    _results[(backend, threads)] = result.makespan
+    benchmark.extra_info["simulated_ms"] = result.makespan / 1000.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if len(_results) < len(BACKENDS) * len(THREADS):
+        return
+    eff = {
+        b: efficiency_series(
+            THREADS, [_results[(b, p)] for p in THREADS], weak=True
+        )
+        for b in BACKENDS
+    }
+    table = Table(["threads"] + BACKENDS)
+    for i, p in enumerate(THREADS):
+        table.add_row([p] + [eff[b][i] for b in BACKENDS])
+    print("\n== fig19: weak scaling efficiency (T1/TP, problem ∝ threads) ==")
+    print(table.render())
+    at_max = {b: eff[b][-1] for b in BACKENDS}
+    best = max(at_max, key=at_max.get)
+    print(f"best at 32 threads: {best} (paper: dataflow)")
+    assert best == "hpx_dataflow"

@@ -1,0 +1,44 @@
+"""Grain-size study (paper ref [6], Grubel et al. CLUSTER 2015).
+
+Fixed total work split into tasks of varying size, scheduled work-stealing
+on the paper machine at 16 and 32 threads. Reproduces the U-shaped
+efficiency curve that motivates HPX's chunk-size machinery: tiny tasks drown
+in dispatch overhead, huge tasks starve threads.
+"""
+
+import pytest
+
+from repro.experiments.grainsize import best_grain, grain_size_curve, is_u_shaped
+from repro.sim.machine import paper_machine
+from repro.util.tables import Table
+
+_curves: dict[int, list] = {}
+
+
+@pytest.mark.parametrize("threads", [16, 32])
+def test_grain_size_curve(benchmark, threads):
+    curve = benchmark.pedantic(
+        lambda: grain_size_curve(paper_machine(), threads, total_work=200_000.0),
+        rounds=2,
+        iterations=1,
+    )
+    _curves[threads] = curve
+    best = best_grain(curve)
+    benchmark.extra_info["best_task_size_us"] = best.task_size
+    benchmark.extra_info["best_efficiency"] = best.efficiency
+    assert is_u_shaped(curve)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _print_table():
+    yield
+    if not _curves:
+        return
+    for threads, curve in _curves.items():
+        table = Table(["task size (us)", "tasks", "efficiency"])
+        for p in curve:
+            table.add_row([p.task_size, p.num_tasks, p.efficiency])
+        best = best_grain(curve)
+        print(f"\n== grain-size study at {threads} threads "
+              f"(best: {best.task_size:.1f} us, eff {best.efficiency:.2f}) ==")
+        print(table.render())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Drive the OP2 source-to-source translator — the paper's actual deliverable.
+
+Takes the Airfoil application source (written with plain ``op_par_loop``
+calls, paper Fig 4), translates it for every backend target, writes the
+generated modules to ``./generated/``, then loads the dataflow one and runs
+it to show the generated code is real, working code.
+
+Run:  python examples/codegen_translate.py
+"""
+
+from pathlib import Path
+
+from repro.airfoil import AirfoilApp, generate_mesh
+from repro.codegen import TARGETS, generate_module, translate_source
+from repro.codegen.apps import AIRFOIL_SOURCE, AirfoilContext
+from repro.op2 import op2_session
+
+OUT = Path(__file__).resolve().parent / "generated"
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    print("input: the Airfoil timestep, written as plain op_par_loop calls")
+    print(f"translating for {len(TARGETS)} targets...\n")
+
+    for target in TARGETS:
+        text, loops = translate_source(AIRFOIL_SOURCE, target)
+        path = OUT / f"airfoil_{target}.py"
+        path.write_text(text)
+        direct = sum(1 for l in loops if l.is_direct)
+        print(
+            f"  {target:15s} -> {path.name:28s}"
+            f"({len(loops)} loops: {direct} direct, {len(loops) - direct} indirect, "
+            f"{len(text.splitlines())} lines)"
+        )
+
+    print("\nrunning the generated hpx_dataflow module on a small mesh...")
+    mesh = generate_mesh(ni=32, nj=16)
+    mod = generate_module(AIRFOIL_SOURCE, "hpx_dataflow")
+    with op2_session(backend="seq", num_threads=4, block_size=64) as rt:
+        app = AirfoilApp(mesh)
+        ctx = AirfoilContext(app, mesh, "hpx_dataflow")
+        for _ in range(5):
+            mod.airfoil_step(ctx)
+        mod.dataflow_finish()
+        rt.hpx.executor.drain()
+    print(f"  5 steps done; accumulated rms = {app.g_rms.value():.6f}")
+    print(f"  generated sources are in {OUT}/ — read them next to the paper's Figs 5-13")
+
+
+if __name__ == "__main__":
+    main()

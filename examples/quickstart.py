@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Quickstart: the OP2 API in ~60 lines.
+
+Builds a tiny unstructured "mesh" by hand (a ring of edges over cells),
+declares data on it, and runs two parallel loops — one direct, one indirect
+with an increment — under two different backends, showing that the numbers
+(and the API) are identical while the parallelization strategy changes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_READ,
+    OP_WRITE,
+    Kernel,
+    OpDat,
+    OpGlobal,
+    OpMap,
+    OpSet,
+    op_arg_dat,
+    op_arg_gbl,
+    op_par_loop,
+    op2_session,
+)
+
+# --- 1. Sets: a ring of N cells connected by N edges -----------------------
+N = 64
+cells = OpSet("cells", N)
+edges = OpSet("edges", N)
+
+# --- 2. A map: each edge connects cell i to cell (i+1) % N -----------------
+ring = np.stack([np.arange(N), (np.arange(N) + 1) % N], axis=1)
+e2c = OpMap("e2c", edges, cells, 2, ring)
+
+# --- 3. Data on sets --------------------------------------------------------
+values = OpDat("values", cells, 1, np.sin(np.linspace(0, 2 * np.pi, N)))
+smoothed = OpDat("smoothed", cells, 1)
+total = OpGlobal("total", 1)
+
+# --- 4. Kernels: elemental semantics + a vectorized fast path --------------
+
+
+def init_kernel():
+    def k(v, out):  # per element
+        out[0] = v[0]
+
+    def kv(v, out):  # per batch, in place
+        out[:] = v
+
+    return Kernel("copy", k, kv)
+
+
+def smooth_kernel():
+    """Each edge pushes half the neighbour difference into both cells."""
+
+    def k(a, b, inc_a, inc_b):
+        d = 0.5 * (b[0] - a[0])
+        inc_a[0] += d
+        inc_b[0] -= d
+
+    def kv(a, b, inc_a, inc_b):
+        d = 0.5 * (b - a)
+        inc_a += d
+        inc_b -= d
+
+    return Kernel("smooth", k, kv)
+
+
+def sum_kernel():
+    def k(v, acc):
+        acc[0] += v[0]
+
+    def kv(v, acc):
+        acc[:] = v
+
+    return Kernel("sum", k, kv)
+
+
+# --- 5. Run the same program under different backends ----------------------
+for backend in ("openmp", "hpx_dataflow"):
+    with op2_session(backend=backend, num_threads=4, block_size=8) as rt:
+        # Direct loop: smoothed <- values.
+        op_par_loop(
+            init_kernel(), "copy", cells,
+            op_arg_dat(values, -1, OP_ID, OP_READ),
+            op_arg_dat(smoothed, -1, OP_ID, OP_WRITE),
+        )
+        # Indirect loop: increment both endpoint cells of every edge. The
+        # plan colors blocks so no two concurrent blocks touch a cell.
+        op_par_loop(
+            smooth_kernel(), "smooth", edges,
+            op_arg_dat(smoothed, 0, e2c, OP_READ),
+            op_arg_dat(smoothed, 1, e2c, OP_READ),
+            op_arg_dat(smoothed, 0, e2c, OP_INC),
+            op_arg_dat(smoothed, 1, e2c, OP_INC),
+        )
+        # Global reduction.
+        total.reset()
+        op_par_loop(
+            sum_kernel(), "sum", cells,
+            op_arg_dat(smoothed, -1, OP_ID, OP_READ),
+            op_arg_gbl(total, OP_INC),
+        )
+    print(
+        f"{backend:>13s}:  sum(smoothed) = {total.value():+.12f}   "
+        f"norm = {smoothed.norm():.12f}"
+    )
+
+print("\nBoth backends produce identical numbers; only scheduling differs.")

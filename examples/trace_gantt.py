@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Visualize *why* dataflow wins: Gantt charts of the simulated schedules.
+
+Emits the OpenMP and dataflow task graphs for a short Airfoil run and prints
+per-thread Gantt charts from the machine simulation. The OpenMP chart shows
+the fork-join texture — bands of work separated by barrier gaps where
+threads wait for stragglers. The dataflow chart is densely packed: blocks of
+the next loop (and the next timestep) fill every gap, which is the paper's
+"asynchronous task execution removes unnecessary global barriers".
+
+Run:  python examples/trace_gantt.py
+"""
+
+from repro.backends.costs import LoopCostModel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_backend, simulate_backend
+from repro.sim.metrics import overhead_breakdown
+
+THREADS = 8
+
+
+def main() -> None:
+    config = ExperimentConfig(ni=32, nj=16, niter=1, block_size=16)
+    cost_model = LoopCostModel(jitter=config.cost_jitter)
+
+    for backend in ("openmp", "hpx_dataflow"):
+        run = run_backend(backend, config)
+        result = simulate_backend(run, config, THREADS, cost_model, trace=True)
+        breakdown = overhead_breakdown(result)
+        print(f"=== {backend} on {THREADS} threads "
+              f"(makespan {result.makespan:.0f} us simulated) ===")
+        print(result.trace.gantt(width=100))
+        pretty = ", ".join(f"{k} {v:.1%}" for k, v in sorted(breakdown.items()))
+        print(f"thread-time breakdown: {pretty}")
+        print(f"utilization: {result.trace.utilization():.1%}\n")
+
+    print("legend: '#' work, 'B' barrier, 'J' join, 's' spawn, 'p' auto-chunk prefix")
+
+
+if __name__ == "__main__":
+    main()

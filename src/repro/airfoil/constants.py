@@ -1,0 +1,53 @@
+"""Flow constants and freestream state for the Airfoil solver.
+
+Matches the constants of the original OP2 Airfoil demo: ideal gas with
+``gam = 1.4``, CFL 0.9, smoothing coefficient 0.05, freestream Mach 0.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FlowConstants:
+    """Physical and numerical constants of the solver."""
+
+    gam: float = 1.4
+    cfl: float = 0.9
+    eps: float = 0.05
+    mach: float = 0.4
+    #: angle of attack in degrees (the original Airfoil declares alpha = 3
+    #: degrees but leaves the freestream x-aligned; default 0 keeps that
+    #: behaviour, nonzero rotates the freestream velocity).
+    alpha_deg: float = 0.0
+
+    @property
+    def gm1(self) -> float:
+        return self.gam - 1.0
+
+    @property
+    def alpha(self) -> float:
+        """Angle of attack in radians."""
+        return math.radians(self.alpha_deg)
+
+    def freestream(self) -> np.ndarray:
+        """Conservative freestream state ``[rho, rho*u, rho*v, rho*E]``.
+
+        Density and pressure are 1; the speed realizes the freestream Mach
+        number, directed ``alpha_deg`` above the x axis.
+        """
+        p = 1.0
+        r = 1.0
+        speed = math.sqrt(self.gam * p / r) * self.mach
+        u = speed * math.cos(self.alpha)
+        v = speed * math.sin(self.alpha)
+        e = p / (r * self.gm1) + 0.5 * speed * speed
+        return np.array([r, r * u, r * v, r * e], dtype=np.float64)
+
+
+#: Module-level default constants used by the kernels.
+DEFAULT_CONSTANTS = FlowConstants()

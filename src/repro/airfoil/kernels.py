@@ -1,0 +1,216 @@
+"""The five Airfoil kernels, in elemental and vectorized form.
+
+Each kernel exists twice with identical semantics:
+
+- the *elemental* form mirrors the original OP2 user kernels (``save_soln.h``
+  etc.): plain scalar Python over one element's argument views;
+- the *vectorized* form operates in place on gathered ``(n, dim)`` batches —
+  the fast path all backends use.
+
+The test suite checks the two forms agree element-for-element on random
+states; the cost numbers calibrate the machine simulator (they reflect the
+relative arithmetic/memory intensity of each kernel).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.airfoil.constants import FlowConstants
+from repro.airfoil.meshgen import WALL
+from repro.op2 import Kernel, KernelCost
+
+
+def make_kernels(constants: FlowConstants) -> dict[str, Kernel]:
+    """Build the Airfoil kernel set for the given flow constants."""
+    gam = constants.gam
+    gm1 = constants.gm1
+    cfl = constants.cfl
+    eps = constants.eps
+
+    # -- save_soln: qold <- q (direct, cells) --------------------------------
+
+    def save_soln(q, qold):
+        for n in range(4):
+            qold[n] = q[n]
+
+    def save_soln_vec(q, qold):
+        qold[:] = q
+
+    # -- adt_calc: local timestep from cell nodes (indirect, cells) ----------
+
+    def adt_calc(x1, x2, x3, x4, q, adt):
+        ri = 1.0 / q[0]
+        u = ri * q[1]
+        v = ri * q[2]
+        c = math.sqrt(gam * gm1 * (ri * q[3] - 0.5 * (u * u + v * v)))
+        total = 0.0
+        for xa, xb in ((x1, x2), (x2, x3), (x3, x4), (x4, x1)):
+            dx = xb[0] - xa[0]
+            dy = xb[1] - xa[1]
+            total += abs(u * dy - v * dx) + c * math.sqrt(dx * dx + dy * dy)
+        adt[0] = total / cfl
+
+    def adt_calc_vec(x1, x2, x3, x4, q, adt):
+        ri = 1.0 / q[:, 0]
+        u = ri * q[:, 1]
+        v = ri * q[:, 2]
+        c = np.sqrt(gam * gm1 * (ri * q[:, 3] - 0.5 * (u * u + v * v)))
+        total = np.zeros_like(u)
+        for xa, xb in ((x1, x2), (x2, x3), (x3, x4), (x4, x1)):
+            dx = xb[:, 0] - xa[:, 0]
+            dy = xb[:, 1] - xa[:, 1]
+            total += np.abs(u * dy - v * dx) + c * np.sqrt(dx * dx + dy * dy)
+        adt[:, 0] = total / cfl
+
+    # -- res_calc: interior fluxes (indirect, edges) --------------------------
+
+    def res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2):
+        dx = x1[0] - x2[0]
+        dy = x1[1] - x2[1]
+        ri = 1.0 / q1[0]
+        p1 = gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]))
+        vol1 = ri * (q1[1] * dy - q1[2] * dx)
+        ri = 1.0 / q2[0]
+        p2 = gm1 * (q2[3] - 0.5 * ri * (q2[1] * q2[1] + q2[2] * q2[2]))
+        vol2 = ri * (q2[1] * dy - q2[2] * dx)
+        mu = 0.5 * (adt1[0] + adt2[0]) * eps
+        f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0])
+        res1[0] += f
+        res2[0] -= f
+        f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) + mu * (
+            q1[1] - q2[1]
+        )
+        res1[1] += f
+        res2[1] -= f
+        f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) + mu * (
+            q1[2] - q2[2]
+        )
+        res1[2] += f
+        res2[2] -= f
+        f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3])
+        res1[3] += f
+        res2[3] -= f
+
+    def res_calc_vec(x1, x2, q1, q2, adt1, adt2, res1, res2):
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri = 1.0 / q1[:, 0]
+        p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri = 1.0 / q2[:, 0]
+        p2 = gm1 * (q2[:, 3] - 0.5 * ri * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
+        vol2 = ri * (q2[:, 1] * dy - q2[:, 2] * dx)
+        mu = 0.5 * (adt1[:, 0] + adt2[:, 0]) * eps
+        f0 = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (q1[:, 0] - q2[:, 0])
+        f1 = 0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy) + mu * (
+            q1[:, 1] - q2[:, 1]
+        )
+        f2 = 0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx) + mu * (
+            q1[:, 2] - q2[:, 2]
+        )
+        f3 = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2)) + mu * (
+            q1[:, 3] - q2[:, 3]
+        )
+        flux = np.stack([f0, f1, f2, f3], axis=1)
+        res1 += flux
+        res2 -= flux
+
+    # -- bres_calc: boundary fluxes (indirect, bedges) ------------------------
+
+    def bres_calc(x1, x2, q1, adt1, res1, bound, qinf):
+        dx = x1[0] - x2[0]
+        dy = x1[1] - x2[1]
+        ri = 1.0 / q1[0]
+        p1 = gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]))
+        if bound[0] == WALL:
+            res1[1] += +p1 * dy
+            res1[2] += -p1 * dx
+            return
+        vol1 = ri * (q1[1] * dy - q1[2] * dx)
+        ri = 1.0 / qinf[0]
+        p2 = gm1 * (qinf[3] - 0.5 * ri * (qinf[1] * qinf[1] + qinf[2] * qinf[2]))
+        vol2 = ri * (qinf[1] * dy - qinf[2] * dx)
+        mu = adt1[0] * eps
+        f = 0.5 * (vol1 * q1[0] + vol2 * qinf[0]) + mu * (q1[0] - qinf[0])
+        res1[0] += f
+        f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * qinf[1] + p2 * dy) + mu * (
+            q1[1] - qinf[1]
+        )
+        res1[1] += f
+        f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * qinf[2] - p2 * dx) + mu * (
+            q1[2] - qinf[2]
+        )
+        res1[2] += f
+        f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (qinf[3] + p2)) + mu * (
+            q1[3] - qinf[3]
+        )
+        res1[3] += f
+
+    def bres_calc_vec(x1, x2, q1, adt1, res1, bound, qinf):
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri = 1.0 / q1[:, 0]
+        p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        wall = bound[:, 0] == WALL
+
+        # Far-field flux against the freestream state.
+        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
+        rinf = 1.0 / qinf[0]
+        p2 = gm1 * (qinf[3] - 0.5 * rinf * (qinf[1] ** 2 + qinf[2] ** 2))
+        vol2 = rinf * (qinf[1] * dy - qinf[2] * dx)
+        mu = adt1[:, 0] * eps
+        f0 = 0.5 * (vol1 * q1[:, 0] + vol2 * qinf[0]) + mu * (q1[:, 0] - qinf[0])
+        f1 = 0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * qinf[1] + p2 * dy) + mu * (
+            q1[:, 1] - qinf[1]
+        )
+        f2 = 0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * qinf[2] - p2 * dx) + mu * (
+            q1[:, 2] - qinf[2]
+        )
+        f3 = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (qinf[3] + p2)) + mu * (
+            q1[:, 3] - qinf[3]
+        )
+        far = np.stack([f0, f1, f2, f3], axis=1)
+        # Wall: pressure force only.
+        wall_flux = np.zeros_like(far)
+        wall_flux[:, 1] = p1 * dy
+        wall_flux[:, 2] = -p1 * dx
+        res1 += np.where(wall[:, None], wall_flux, far)
+
+    # -- update: explicit step + RMS reduction (direct, cells) ---------------
+
+    def update(qold, q, res, adt, rms):
+        adti = 1.0 / adt[0]
+        acc = 0.0
+        for n in range(4):
+            delta = adti * res[n]
+            q[n] = qold[n] - delta
+            res[n] = 0.0
+            acc += delta * delta
+        rms[0] += acc
+
+    def update_vec(qold, q, res, adt, rms):
+        delta = res / adt  # adt broadcasts over the 4 components
+        q[:] = qold - delta
+        res[:] = 0.0
+        rms[:, 0] += np.sum(delta * delta, axis=1)
+
+    # Per-element costs (abstract microseconds) reflect relative arithmetic
+    # and memory traffic; they calibrate the simulator, not the numerics.
+    return {
+        "save_soln": Kernel(
+            "save_soln", save_soln, save_soln_vec, KernelCost(0.08, 0.95)
+        ),
+        "adt_calc": Kernel(
+            "adt_calc", adt_calc, adt_calc_vec, KernelCost(0.45, 0.35)
+        ),
+        "res_calc": Kernel(
+            "res_calc", res_calc, res_calc_vec, KernelCost(0.55, 0.55)
+        ),
+        "bres_calc": Kernel(
+            "bres_calc", bres_calc, bres_calc_vec, KernelCost(0.45, 0.40)
+        ),
+        "update": Kernel("update", update, update_vec, KernelCost(0.20, 0.80)),
+    }

@@ -1,0 +1,194 @@
+"""Body-fitted O-mesh generation around an airfoil.
+
+Replaces the paper's mesh input file with a parametric generator. The mesh is
+an O-topology quad grid: ``ni`` cells around the airfoil, ``nj`` cell layers
+from the wall (j=0) to a circular far field (j=nj), with geometric radial
+clustering near the wall. Although generated from a structured template, the
+result is delivered purely as unstructured sets + maps + dats — exactly the
+representation OP2's Airfoil reads from its grid file, and the only thing any
+kernel ever sees.
+
+Layout (all ids 0-based, rows contiguous):
+
+- nodes:  ``ni * (nj + 1)``; node(i, j) = ``j * ni + i``; i wraps mod ni.
+- cells:  ``ni * nj``;       cell(i, j) = ``j * ni + i``.
+- edges:  ``ni * nj`` radial-face edges (between circumferential neighbour
+  cells) followed by ``ni * (nj - 1)`` circumferential-face edges (between
+  radial neighbour cells).
+- bedges: ``ni`` wall edges (bound=1) then ``ni`` far-field edges (bound=2).
+
+Maps: pedge (edges -> 2 nodes), pecell (edges -> 2 cells), pbedge
+(bedges -> 2 nodes), pbecell (bedges -> 1 cell), pcell (cells -> 4 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.airfoil.naca import naca4_surface
+from repro.op2 import OpDat, OpMap, OpSet
+from repro.util.validate import ValidationError
+
+WALL = 1
+FARFIELD = 2
+
+
+@dataclass
+class AirfoilMesh:
+    """The generated unstructured mesh in OP2 terms."""
+
+    ni: int
+    nj: int
+    nodes: OpSet
+    edges: OpSet
+    bedges: OpSet
+    cells: OpSet
+    pedge: OpMap
+    pecell: OpMap
+    pbedge: OpMap
+    pbecell: OpMap
+    pcell: OpMap
+    x: OpDat  # node coordinates, dim 2
+    bound: OpDat  # boundary condition tag per bedge, dim 1 (int64)
+
+    def summary(self) -> str:
+        return (
+            f"O-mesh {self.ni}x{self.nj}: {self.nodes.size} nodes, "
+            f"{self.cells.size} cells, {self.edges.size} edges, "
+            f"{self.bedges.size} bedges"
+        )
+
+
+def _radial_fractions(nj: int, clustering: float) -> np.ndarray:
+    """Wall-clustered fractions f_0=0 < ... < f_nj=1 (geometric stretching)."""
+    j = np.arange(nj + 1, dtype=np.float64) / nj
+    if clustering <= 1.0:
+        return j
+    return (clustering**j - 1.0) / (clustering - 1.0)
+
+
+def generate_mesh(
+    ni: int = 60,
+    nj: int = 30,
+    far_radius: float = 10.0,
+    thickness: float = 0.12,
+    clustering: float = 8.0,
+) -> AirfoilMesh:
+    """Generate the O-mesh and wrap it in OP2 sets/maps/dats."""
+    if ni < 8 or ni % 2 != 0:
+        raise ValidationError(f"ni must be even and >= 8, got {ni}")
+    if nj < 2:
+        raise ValidationError(f"nj must be >= 2, got {nj}")
+    if far_radius <= 1.0:
+        raise ValidationError(f"far_radius must exceed the chord, got {far_radius}")
+
+    nnodes = ni * (nj + 1)
+    ncells = ni * nj
+    nedges = ni * nj + ni * (nj - 1)
+    nbedges = 2 * ni
+
+    def node(i: np.ndarray | int, j: np.ndarray | int) -> np.ndarray | int:
+        return (np.asarray(j) * ni + np.asarray(i) % ni).astype(np.int64)
+
+    def cell(i: np.ndarray | int, j: np.ndarray | int) -> np.ndarray | int:
+        return (np.asarray(j) * ni + np.asarray(i) % ni).astype(np.int64)
+
+    # -- geometry -----------------------------------------------------------
+    surface = naca4_surface(ni, thickness=thickness)
+    centroid = np.array([0.5, 0.0])
+    angles = np.arctan2(surface[:, 1] - centroid[1], surface[:, 0] - centroid[0])
+    outer = centroid + far_radius * np.stack(
+        [np.cos(angles), np.sin(angles)], axis=1
+    )
+    fractions = _radial_fractions(nj, clustering)
+    coords = np.empty((nnodes, 2), dtype=np.float64)
+    for j in range(nj + 1):
+        f = fractions[j]
+        coords[j * ni : (j + 1) * ni] = surface * (1.0 - f) + outer * f
+
+    # -- connectivity -------------------------------------------------------
+    ii = np.arange(ni, dtype=np.int64)
+
+    # cells -> 4 nodes (counterclockwise within a layer).
+    pcell_vals = np.empty((ncells, 4), dtype=np.int64)
+    for j in range(nj):
+        rows = slice(j * ni, (j + 1) * ni)
+        pcell_vals[rows, 0] = node(ii, j)
+        pcell_vals[rows, 1] = node(ii + 1, j)
+        pcell_vals[rows, 2] = node(ii + 1, j + 1)
+        pcell_vals[rows, 3] = node(ii, j + 1)
+
+    pedge_vals = np.empty((nedges, 2), dtype=np.int64)
+    pecell_vals = np.empty((nedges, 2), dtype=np.int64)
+    # Radial-face edges: between cell(i, j) and cell(i+1, j); the shared face
+    # runs radially through nodes (i+1, j+1) -> (i+1, j). Node order matters:
+    # the kernels' normal (dy, -dx) with (dx, dy) = x1 - x2 must point OUT of
+    # cell1 = cell(i, j), which for a CCW cell means x1 is the outer node.
+    for j in range(nj):
+        rows = slice(j * ni, (j + 1) * ni)
+        pedge_vals[rows, 0] = node(ii + 1, j + 1)
+        pedge_vals[rows, 1] = node(ii + 1, j)
+        pecell_vals[rows, 0] = cell(ii, j)
+        pecell_vals[rows, 1] = cell(ii + 1, j)
+    # Circumferential-face edges: between cell(i, j) and cell(i, j+1); the
+    # shared face runs circumferentially through nodes (i, j+1) -> (i+1, j+1).
+    base = ni * nj
+    for j in range(nj - 1):
+        rows = slice(base + j * ni, base + (j + 1) * ni)
+        pedge_vals[rows, 0] = node(ii, j + 1)
+        pedge_vals[rows, 1] = node(ii + 1, j + 1)
+        pecell_vals[rows, 0] = cell(ii, j)
+        pecell_vals[rows, 1] = cell(ii, j + 1)
+
+    pbedge_vals = np.empty((nbedges, 2), dtype=np.int64)
+    pbecell_vals = np.empty((nbedges, 1), dtype=np.int64)
+    bound_vals = np.empty((nbedges, 1), dtype=np.int64)
+    # Wall edges along j=0 under cell(i, 0). Node order is flipped relative
+    # to the far-field edges so the signed edge vector matches the interior
+    # face convention (outward normal); the discretization telescopes to a
+    # conservative scheme only with this orientation.
+    pbedge_vals[:ni, 0] = node(ii + 1, 0)
+    pbedge_vals[:ni, 1] = node(ii, 0)
+    pbecell_vals[:ni, 0] = cell(ii, 0)
+    bound_vals[:ni, 0] = WALL
+    # Far-field edges along j=nj above cell(i, nj-1).
+    pbedge_vals[ni:, 0] = node(ii, nj)
+    pbedge_vals[ni:, 1] = node(ii + 1, nj)
+    pbecell_vals[ni:, 0] = cell(ii, nj - 1)
+    bound_vals[ni:, 0] = FARFIELD
+
+    nodes = OpSet("nodes", nnodes)
+    edges = OpSet("edges", nedges)
+    bedges = OpSet("bedges", nbedges)
+    cells = OpSet("cells", ncells)
+    return AirfoilMesh(
+        ni=ni,
+        nj=nj,
+        nodes=nodes,
+        edges=edges,
+        bedges=bedges,
+        cells=cells,
+        pedge=OpMap("pedge", edges, nodes, 2, pedge_vals),
+        pecell=OpMap("pecell", edges, cells, 2, pecell_vals),
+        pbedge=OpMap("pbedge", bedges, nodes, 2, pbedge_vals),
+        pbecell=OpMap("pbecell", bedges, cells, 1, pbecell_vals),
+        pcell=OpMap("pcell", cells, nodes, 4, pcell_vals),
+        x=OpDat("x", nodes, 2, coords),
+        bound=OpDat("bound", bedges, 1, bound_vals, dtype=np.int64),
+    )
+
+
+def scaled_mesh_dims(base_ni: int, base_nj: int, factor: float) -> tuple[int, int]:
+    """Scale mesh dimensions so the cell count grows ~``factor``-fold.
+
+    Used by weak scaling: both directions grow by sqrt(factor); ``ni`` stays
+    even as the O-topology requires.
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be > 0, got {factor}")
+    s = float(np.sqrt(factor))
+    ni = max(8, int(round(base_ni * s / 2.0)) * 2)
+    nj = max(2, int(round(base_nj * s)))
+    return ni, nj

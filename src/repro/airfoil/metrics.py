@@ -1,0 +1,125 @@
+"""Aerodynamic force metrics: lift and drag from the wall pressure.
+
+Implemented as a real ``op_par_loop`` over the boundary edges with a global
+``OP_INC`` reduction — the same API pattern as the solver's RMS — so the
+diagnostic runs under every backend, including asynchronously.
+
+The force the fluid exerts on the airfoil is the wall-pressure integral
+``F = sum over wall faces of p * n * len``; with the kernels' edge-vector
+convention ``(dx, dy) = x1 - x2``, the cell-outward (into-body) normal times
+the face length is exactly ``(dy, -dx)``. Coefficients are normalized by the
+freestream dynamic pressure and unit chord.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.airfoil.app import AirfoilApp
+from repro.airfoil.meshgen import WALL
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_READ,
+    Kernel,
+    KernelCost,
+    OpGlobal,
+    Op2Runtime,
+    op_arg_dat,
+    op_arg_gbl,
+)
+from repro.op2.parloop import op_par_loop
+
+
+@dataclass(frozen=True)
+class ForceCoefficients:
+    """Integrated aerodynamic coefficients."""
+
+    drag: float  # c_d: force component along the freestream (+x)
+    lift: float  # c_l: force component normal to the freestream (+y)
+
+    def magnitude(self) -> float:
+        return float(np.hypot(self.drag, self.lift))
+
+
+def make_force_kernel(gm1: float) -> Kernel:
+    """Per-bedge wall-pressure force contribution (zero off the wall)."""
+
+    def force(x1, x2, q1, bound, f):
+        if bound[0] != WALL:
+            return
+        dx = x1[0] - x2[0]
+        dy = x1[1] - x2[1]
+        ri = 1.0 / q1[0]
+        p1 = gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]))
+        f[0] += p1 * dy
+        f[1] += -p1 * dx
+
+    def force_vec(x1, x2, q1, bound, f):
+        wall = bound[:, 0] == WALL
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri = 1.0 / q1[:, 0]
+        p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        f[:, 0] = np.where(wall, p1 * dy, 0.0)
+        f[:, 1] = np.where(wall, -p1 * dx, 0.0)
+
+    return Kernel("wall_force", force, force_vec, KernelCost(0.25, 0.4))
+
+
+def compute_forces(app: AirfoilApp, rt: Op2Runtime) -> ForceCoefficients:
+    """Integrate wall-pressure forces for the app's current solution.
+
+    Runs one op_par_loop over bedges; under async/dataflow backends the
+    reduction is synchronized before the value is read.
+    """
+    g_force = OpGlobal("force", 2)
+    kernel = make_force_kernel(app.constants.gm1)
+    result = op_par_loop(
+        kernel,
+        "wall_force",
+        app.mesh.bedges,
+        op_arg_dat(app.p_x, 0, app.mesh.pbedge, OP_READ),
+        op_arg_dat(app.p_x, 1, app.mesh.pbedge, OP_READ),
+        op_arg_dat(app.p_q, 0, app.mesh.pbecell, OP_READ),
+        op_arg_dat(app.p_bound, -1, OP_ID, OP_READ),
+        op_arg_gbl(g_force, OP_INC),
+    )
+    rt.sync(result)
+    rt.finish()
+    fx, fy = g_force.data
+    return _to_wind_axes(app, float(fx), float(fy))
+
+
+def reference_forces(app: AirfoilApp) -> ForceCoefficients:
+    """Plain-numpy wall-pressure integral for validating the loop version."""
+    mesh = app.mesh
+    gm1 = app.constants.gm1
+    wall = mesh.bound.data[:, 0] == WALL
+    x1 = mesh.x.data[mesh.pbedge.values[wall, 0]]
+    x2 = mesh.x.data[mesh.pbedge.values[wall, 1]]
+    q1 = app.p_q.data[mesh.pbecell.values[wall, 0]]
+    dx = x1[:, 0] - x2[:, 0]
+    dy = x1[:, 1] - x2[:, 1]
+    ri = 1.0 / q1[:, 0]
+    p1 = gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+    return _to_wind_axes(app, float(np.sum(p1 * dy)), float(np.sum(-p1 * dx)))
+
+
+def _to_wind_axes(app: AirfoilApp, fx: float, fy: float) -> ForceCoefficients:
+    """Rotate body-axis forces into wind axes and normalize.
+
+    Drag is the component along the freestream direction (alpha above x),
+    lift the component perpendicular to it.
+    """
+    c = app.constants
+    qinf = c.freestream()
+    speed2 = (qinf[1] ** 2 + qinf[2] ** 2) / qinf[0] ** 2
+    dyn = 0.5 * qinf[0] * speed2  # chord = 1
+    ca, sa = np.cos(c.alpha), np.sin(c.alpha)
+    return ForceCoefficients(
+        drag=float((fx * ca + fy * sa) / dyn),
+        lift=float((-fx * sa + fy * ca) / dyn),
+    )

@@ -1,0 +1,70 @@
+"""NACA 4-digit airfoil geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validate import ValidationError
+
+
+def naca4_thickness(x: np.ndarray, thickness: float = 0.12) -> np.ndarray:
+    """Half-thickness of a NACA 4-digit section at chordwise positions ``x``.
+
+    Uses the closed-trailing-edge coefficient set so the surface loop closes
+    exactly (required for a watertight O-mesh).
+    """
+    if not 0.0 < thickness < 1.0:
+        raise ValidationError(f"thickness must be in (0, 1), got {thickness}")
+    x = np.asarray(x, dtype=np.float64)
+    if np.any((x < 0.0) | (x > 1.0)):
+        raise ValidationError("chordwise positions must lie in [0, 1]")
+    return (
+        5.0
+        * thickness
+        * (
+            0.2969 * np.sqrt(x)
+            - 0.1260 * x
+            - 0.3516 * x**2
+            + 0.2843 * x**3
+            - 0.1036 * x**4  # -0.1015 for the open-TE variant
+        )
+    )
+
+
+def naca4_camber(x: np.ndarray, m: float = 0.0, p: float = 0.4) -> np.ndarray:
+    """Camber line of a NACA 4-digit section (``m`` max camber at ``p``)."""
+    x = np.asarray(x, dtype=np.float64)
+    if m == 0.0:
+        return np.zeros_like(x)
+    if not 0.0 < p < 1.0:
+        raise ValidationError(f"camber position must be in (0, 1), got {p}")
+    fore = (m / p**2) * (2.0 * p * x - x**2)
+    aft = (m / (1.0 - p) ** 2) * ((1.0 - 2.0 * p) + 2.0 * p * x - x**2)
+    return np.where(x < p, fore, aft)
+
+
+def naca4_surface(
+    n: int, thickness: float = 0.12, camber: float = 0.0, camber_pos: float = 0.4
+) -> np.ndarray:
+    """``n`` surface points around the airfoil, counterclockwise from the TE.
+
+    Cosine spacing clusters points at the leading and trailing edges. The
+    loop is closed implicitly: point ``n`` would coincide with point 0.
+    Returns an ``(n, 2)`` array.
+    """
+    if n < 8:
+        raise ValidationError(f"need at least 8 surface points, got {n}")
+    if n % 2 != 0:
+        raise ValidationError(f"surface point count must be even, got {n}")
+    # s in [0, 1): 0 -> TE, 0.5 -> LE, lower surface first. Traversing the
+    # lower surface first (a clockwise polygon) combined with the outward
+    # radial mesh direction gives the O-mesh cells positive (CCW)
+    # orientation — the flux sign convention of the kernels requires it
+    # (wall pressure must push outward).
+    s = np.arange(n, dtype=np.float64) / n
+    xc = 0.5 * (1.0 + np.cos(2.0 * np.pi * s))
+    lower = s < 0.5
+    yt = naca4_thickness(xc, thickness)
+    yc = naca4_camber(xc, camber, camber_pos)
+    y = np.where(lower, yc - yt, yc + yt)
+    return np.stack([xc, y], axis=1)

@@ -1,0 +1,110 @@
+"""Mesh quality metrics: the numbers a CFD practitioner checks first.
+
+Bad cells destabilize the explicit solver long before they crash it (the
+orientation and aspect-ratio bugs found while building this reproduction
+both manifested as slow residual growth). This module quantifies:
+
+- signed **areas** (all must be positive — orientation);
+- **aspect ratio** per cell (longest face over shortest face);
+- **skewness** per cell (worst interior-angle deviation from 90 degrees,
+  normalized to [0, 1] where 0 is a perfect rectangle);
+- **smoothness** per interior edge (larger neighbour area over smaller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.airfoil.meshgen import AirfoilMesh
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class MeshQuality:
+    """Summary statistics of a mesh's cell quality."""
+
+    ncells: int
+    min_area: float
+    max_area: float
+    max_aspect: float
+    mean_aspect: float
+    max_skew: float
+    mean_skew: float
+    max_smoothness: float
+
+    def healthy(
+        self,
+        max_aspect: float = 120.0,
+        max_skew: float = 0.98,
+        max_smoothness: float = 10.0,
+    ) -> bool:
+        """True when no metric exceeds its (generous) solver-safety bound.
+
+        Bounds reflect what the explicit solver demonstrably tolerates on the
+        generated meshes: cosine surface spacing makes needle cells near the
+        trailing edge (aspect ~55 at default resolution) that run stably.
+        """
+        return (
+            self.min_area > 0.0
+            and self.max_aspect <= max_aspect
+            and self.max_skew <= max_skew
+            and self.max_smoothness <= max_smoothness
+        )
+
+    def report(self) -> str:
+        return (
+            f"{self.ncells} cells: area [{self.min_area:.3g}, {self.max_area:.3g}], "
+            f"aspect max {self.max_aspect:.1f} (mean {self.mean_aspect:.2f}), "
+            f"skew max {self.max_skew:.2f} (mean {self.mean_skew:.2f}), "
+            f"smoothness max {self.max_smoothness:.2f}"
+        )
+
+
+def cell_quality_arrays(mesh: AirfoilMesh) -> dict[str, np.ndarray]:
+    """Per-cell quality arrays: area, aspect, skew."""
+    x = mesh.x.data[mesh.pcell.values]  # (ncells, 4, 2)
+    # Signed area (shoelace over the quad corners).
+    area = np.zeros(mesh.cells.size)
+    side_len = np.empty((mesh.cells.size, 4))
+    angles = np.empty((mesh.cells.size, 4))
+    for i, (a, b) in enumerate(((0, 1), (1, 2), (2, 3), (3, 0))):
+        area += x[:, a, 0] * x[:, b, 1] - x[:, b, 0] * x[:, a, 1]
+        side_len[:, i] = np.hypot(
+            x[:, b, 0] - x[:, a, 0], x[:, b, 1] - x[:, a, 1]
+        )
+    area *= 0.5
+    for i in range(4):
+        prev = (i - 1) % 4
+        nxt = (i + 1) % 4
+        v1 = x[:, prev] - x[:, i]
+        v2 = x[:, nxt] - x[:, i]
+        dot = np.sum(v1 * v2, axis=1)
+        norms = np.linalg.norm(v1, axis=1) * np.linalg.norm(v2, axis=1)
+        angles[:, i] = np.arccos(np.clip(dot / np.maximum(norms, 1e-300), -1, 1))
+    aspect = side_len.max(axis=1) / np.maximum(side_len.min(axis=1), 1e-300)
+    # Quad skewness: worst deviation from the ideal right angle.
+    skew = np.max(np.abs(angles - np.pi / 2), axis=1) / (np.pi / 2)
+    return {"area": area, "aspect": aspect, "skew": skew}
+
+
+def mesh_quality(mesh: AirfoilMesh) -> MeshQuality:
+    """Compute the summary quality record for a mesh."""
+    arrays = cell_quality_arrays(mesh)
+    area = arrays["area"]
+    if mesh.cells.size == 0:
+        raise ValidationError("cannot assess an empty mesh")
+    a1 = area[mesh.pecell.values[:, 0]]
+    a2 = area[mesh.pecell.values[:, 1]]
+    smooth = np.maximum(a1, a2) / np.maximum(np.minimum(a1, a2), 1e-300)
+    return MeshQuality(
+        ncells=mesh.cells.size,
+        min_area=float(area.min()),
+        max_area=float(area.max()),
+        max_aspect=float(arrays["aspect"].max()),
+        mean_aspect=float(arrays["aspect"].mean()),
+        max_skew=float(arrays["skew"].max()),
+        mean_skew=float(arrays["skew"].mean()),
+        max_smoothness=float(smooth.max()),
+    )

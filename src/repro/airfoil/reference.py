@@ -1,0 +1,148 @@
+"""Independent plain-numpy Airfoil implementation for validating backends.
+
+Deliberately does **not** reuse the OP2 kernels or gather/scatter machinery:
+the timestep is written directly against the mesh arrays, so agreement with
+the OP2-driven runs validates the whole pipeline (args, plans, backends,
+futures, dataflow) and not just the kernel algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.airfoil.app import INNER_ITERS, AirfoilResult
+from repro.airfoil.constants import DEFAULT_CONSTANTS, FlowConstants
+from repro.airfoil.meshgen import WALL, AirfoilMesh
+
+
+class ReferenceAirfoil:
+    """Straight-line numpy Euler solver over the generated mesh."""
+
+    def __init__(
+        self, mesh: AirfoilMesh, constants: FlowConstants = DEFAULT_CONSTANTS
+    ) -> None:
+        self.mesh = mesh
+        self.c = constants
+        ncells = mesh.cells.size
+        self.qinf = constants.freestream()
+        self.q = np.tile(self.qinf, (ncells, 1))
+        self.qold = np.zeros((ncells, 4))
+        self.res = np.zeros((ncells, 4))
+        self.adt = np.zeros((ncells, 1))
+        self.rms = 0.0
+
+    # -- loop equivalents -----------------------------------------------------
+
+    def _adt_calc(self) -> None:
+        c = self.c
+        xs = self.mesh.x.data
+        corners = [xs[self.mesh.pcell.values[:, k]] for k in range(4)]
+        ri = 1.0 / self.q[:, 0]
+        u = ri * self.q[:, 1]
+        v = ri * self.q[:, 2]
+        snd = np.sqrt(c.gam * c.gm1 * (ri * self.q[:, 3] - 0.5 * (u * u + v * v)))
+        total = np.zeros_like(u)
+        for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            dx = corners[b][:, 0] - corners[a][:, 0]
+            dy = corners[b][:, 1] - corners[a][:, 1]
+            total += np.abs(u * dy - v * dx) + snd * np.sqrt(dx * dx + dy * dy)
+        self.adt[:, 0] = total / c.cfl
+
+    def _res_calc(self) -> None:
+        c = self.c
+        xs = self.mesh.x.data
+        pedge = self.mesh.pedge.values
+        pecell = self.mesh.pecell.values
+        x1 = xs[pedge[:, 0]]
+        x2 = xs[pedge[:, 1]]
+        q1 = self.q[pecell[:, 0]]
+        q2 = self.q[pecell[:, 1]]
+        adt1 = self.adt[pecell[:, 0], 0]
+        adt2 = self.adt[pecell[:, 1], 0]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri = 1.0 / q1[:, 0]
+        p1 = c.gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
+        ri = 1.0 / q2[:, 0]
+        p2 = c.gm1 * (q2[:, 3] - 0.5 * ri * (q2[:, 1] ** 2 + q2[:, 2] ** 2))
+        vol2 = ri * (q2[:, 1] * dy - q2[:, 2] * dx)
+        mu = 0.5 * (adt1 + adt2) * c.eps
+        f0 = 0.5 * (vol1 * q1[:, 0] + vol2 * q2[:, 0]) + mu * (q1[:, 0] - q2[:, 0])
+        f1 = 0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * q2[:, 1] + p2 * dy) + mu * (
+            q1[:, 1] - q2[:, 1]
+        )
+        f2 = 0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * q2[:, 2] - p2 * dx) + mu * (
+            q1[:, 2] - q2[:, 2]
+        )
+        f3 = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (q2[:, 3] + p2)) + mu * (
+            q1[:, 3] - q2[:, 3]
+        )
+        flux = np.stack([f0, f1, f2, f3], axis=1)
+        np.add.at(self.res, pecell[:, 0], flux)
+        np.add.at(self.res, pecell[:, 1], -flux)
+
+    def _bres_calc(self) -> None:
+        c = self.c
+        xs = self.mesh.x.data
+        pbedge = self.mesh.pbedge.values
+        pbecell = self.mesh.pbecell.values
+        bound = self.mesh.bound.data[:, 0]
+        qinf = self.qinf
+        x1 = xs[pbedge[:, 0]]
+        x2 = xs[pbedge[:, 1]]
+        q1 = self.q[pbecell[:, 0]]
+        adt1 = self.adt[pbecell[:, 0], 0]
+        dx = x1[:, 0] - x2[:, 0]
+        dy = x1[:, 1] - x2[:, 1]
+        ri = 1.0 / q1[:, 0]
+        p1 = c.gm1 * (q1[:, 3] - 0.5 * ri * (q1[:, 1] ** 2 + q1[:, 2] ** 2))
+        vol1 = ri * (q1[:, 1] * dy - q1[:, 2] * dx)
+        rinf = 1.0 / qinf[0]
+        p2 = c.gm1 * (qinf[3] - 0.5 * rinf * (qinf[1] ** 2 + qinf[2] ** 2))
+        vol2 = rinf * (qinf[1] * dy - qinf[2] * dx)
+        mu = adt1 * c.eps
+        f0 = 0.5 * (vol1 * q1[:, 0] + vol2 * qinf[0]) + mu * (q1[:, 0] - qinf[0])
+        f1 = 0.5 * (vol1 * q1[:, 1] + p1 * dy + vol2 * qinf[1] + p2 * dy) + mu * (
+            q1[:, 1] - qinf[1]
+        )
+        f2 = 0.5 * (vol1 * q1[:, 2] - p1 * dx + vol2 * qinf[2] - p2 * dx) + mu * (
+            q1[:, 2] - qinf[2]
+        )
+        f3 = 0.5 * (vol1 * (q1[:, 3] + p1) + vol2 * (qinf[3] + p2)) + mu * (
+            q1[:, 3] - qinf[3]
+        )
+        far = np.stack([f0, f1, f2, f3], axis=1)
+        wall_flux = np.zeros_like(far)
+        wall_flux[:, 1] = p1 * dy
+        wall_flux[:, 2] = -p1 * dx
+        flux = np.where((bound == WALL)[:, None], wall_flux, far)
+        np.add.at(self.res, pbecell[:, 0], flux)
+
+    def _update(self) -> None:
+        delta = self.res / self.adt
+        self.q[:] = self.qold - delta
+        self.res[:] = 0.0
+        self.rms += float(np.sum(delta * delta))
+
+    # -- driver ---------------------------------------------------------------
+
+    def step(self) -> None:
+        self.qold[:] = self.q
+        for _ in range(INNER_ITERS):
+            self._adt_calc()
+            self._res_calc()
+            self._bres_calc()
+            self._update()
+
+    def run(self, niter: int) -> AirfoilResult:
+        history = []
+        for _ in range(niter):
+            self.step()
+            history.append(self.rms)
+        return AirfoilResult(
+            iterations=niter,
+            rms_total=self.rms,
+            q_norm=float(np.sqrt(np.sum(self.q**2))),
+            rms_history=history,
+        )

@@ -1,0 +1,65 @@
+"""Validation helpers: comparing solver states across backends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.airfoil.app import AirfoilApp, AirfoilResult
+from repro.airfoil.reference import ReferenceAirfoil
+from repro.util.validate import ValidationError
+
+
+def max_rel_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum difference relative to the arrays' overall magnitude.
+
+    Element-wise relative error is meaningless for fields with incidental
+    near-zeros (the v-momentum of an x-aligned freestream is ~1e-16), so the
+    denominator is the largest magnitude in either array, not per element.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    scale = max(float(np.max(np.abs(a))), float(np.max(np.abs(b))), 1e-30)
+    return float(np.max(np.abs(a - b))) / scale
+
+
+def compare_states(
+    app: AirfoilApp, ref: ReferenceAirfoil, tol: float = 1e-10
+) -> dict[str, float]:
+    """Compare an OP2 app's state to the reference; raise beyond ``tol``.
+
+    Returns the per-field maximum relative differences for reporting.
+    """
+    diffs = {
+        "q": max_rel_diff(app.p_q.data, ref.q),
+        "qold": max_rel_diff(app.p_qold.data, ref.qold),
+        "res": max_rel_diff(app.p_res.data, ref.res),
+        "adt": max_rel_diff(app.p_adt.data, ref.adt),
+        "rms": max_rel_diff(
+            np.array([app.g_rms.value()]), np.array([ref.rms])
+        ),
+    }
+    bad = {k: v for k, v in diffs.items() if v > tol}
+    if bad:
+        raise ValidationError(
+            f"backend state deviates from reference beyond tol={tol}: {bad}"
+        )
+    return diffs
+
+
+def compare_results(a: AirfoilResult, b: AirfoilResult, tol: float = 1e-10) -> None:
+    """Check two runs produced the same physics."""
+    if a.iterations != b.iterations:
+        raise ValidationError(
+            f"iteration counts differ: {a.iterations} vs {b.iterations}"
+        )
+    for field in ("rms_total", "q_norm"):
+        va, vb = getattr(a, field), getattr(b, field)
+        scale = max(abs(va), abs(vb), 1e-30)
+        if abs(va - vb) / scale > tol:
+            raise ValidationError(
+                f"{field} differs beyond tol={tol}: {va!r} vs {vb!r}"
+            )

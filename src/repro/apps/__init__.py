@@ -1,0 +1,27 @@
+"""Additional unstructured-grid applications built on the OP2 API.
+
+The paper motivates OP2 with unstructured-mesh workloads in general; Airfoil
+is the benchmark. :mod:`repro.apps.heat` is a second, independent application
+(explicit heat conduction over mesh edges) that exercises the same API
+surface — direct loops, indirect increments, global reductions — with a
+different loop structure, which keeps the framework honest about not being
+Airfoil-shaped.
+"""
+
+from repro.apps.heat import HeatApp, HeatResult, reference_heat_run
+from repro.apps.shallow_water import (
+    ShallowWaterApp,
+    ShallowWaterResult,
+    cell_geometry,
+    make_sw_kernels,
+)
+
+__all__ = [
+    "HeatApp",
+    "HeatResult",
+    "reference_heat_run",
+    "ShallowWaterApp",
+    "ShallowWaterResult",
+    "cell_geometry",
+    "make_sw_kernels",
+]

@@ -1,0 +1,45 @@
+"""Loop-execution backends: the five parallelization strategies of the paper.
+
+Each backend implements the same numerical semantics (validated against the
+plain-numpy reference) but a different *scheduling structure*:
+
+- ``seq`` — serial reference.
+- ``openmp`` — fork-join: static block distribution + implicit global
+  barrier after every loop (``#pragma omp parallel for``, paper Fig 5).
+- ``foreach`` — ``hpx::parallel::for_each(par)``: HPX chunking, still a
+  join at the end of every loop (paper §III-A1, Figs 6–7).
+- ``hpx_async`` — ``async`` + ``for_each(par(task))``: loops return futures,
+  the application places ``.get()`` sync points (paper §III-A2, Figs 8–10).
+- ``hpx_dataflow`` — the modified OP2 API: automatic dependence tracking and
+  dataflow invocation (paper §III-B, Figs 11–14).
+
+Backends also *emit* the task graph of a recorded run for the machine
+simulator (:mod:`repro.sim`) — that is where the scaling differences between
+the strategies become measurable.
+"""
+
+from repro.backends.base import Backend, execute_loop, gather_args, scatter_args
+from repro.backends.registry import create_backend, register_backend, available_backends
+from repro.backends.costs import LoopCostModel, block_costs
+from repro.backends.seq import SeqBackend
+from repro.backends.openmp import OpenMPBackend
+from repro.backends.foreach import ForEachBackend
+from repro.backends.hpx_async import HpxAsyncBackend
+from repro.backends.hpx_dataflow import HpxDataflowBackend
+
+__all__ = [
+    "Backend",
+    "execute_loop",
+    "gather_args",
+    "scatter_args",
+    "create_backend",
+    "register_backend",
+    "available_backends",
+    "LoopCostModel",
+    "block_costs",
+    "SeqBackend",
+    "OpenMPBackend",
+    "ForEachBackend",
+    "HpxAsyncBackend",
+    "HpxDataflowBackend",
+]

@@ -1,0 +1,193 @@
+"""The dataflow backend with the modified OP2 API (paper §III-B).
+
+``op_arg_dat`` conceptually returns a *future* of the dat (paper Fig 12);
+``op_par_loop`` becomes a dataflow node whose invocation is delayed until all
+argument futures are ready (Fig 13). Chained over the application, this
+builds the execution tree — a dependency graph — automatically, with no
+programmer-placed ``get()`` calls and no step-boundary synchronization:
+``data[t]`` depends on ``data[t-1]`` exactly as in paper Fig 14.
+
+Functionally, the backend drives :func:`repro.hpx.dataflow.dataflow` with the
+producer futures computed by :class:`~repro.op2.deps.DatDependencyTracker`.
+
+For the simulator, the emitter refines loop-level dependence to **block
+level** using the plans and maps (:mod:`repro.backends.blockdeps`): a
+consumer block waits only for the producer blocks that touched the same dat
+rows. This is the runtime interleaving of direct and indirect loops —
+including across timestep boundaries — that the paper credits for the ~21%
+scaling improvement.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import Backend, execute_loop
+from repro.backends.blockdeps import block_dependencies
+from repro.backends.emission import add_gate, record_block_costs
+from repro.hpx.dataflow import dataflow
+from repro.hpx.future import Future
+from repro.op2.dat import OpDat
+from repro.op2.deps import DatDependencyTracker
+from repro.op2.parloop import ParLoop
+from repro.op2.plan import Plan
+from repro.op2.runtime import LoopLog, LoopRecord, Op2Runtime
+from repro.sim.machine import MachineConfig
+from repro.sim.task import TaskGraph
+
+
+def _hazard_dats(producer: LoopRecord, consumer: LoopRecord) -> list[OpDat]:
+    """Dats shared by two loops where at least one side writes."""
+    prod_access: dict[int, tuple[OpDat, bool]] = {}
+    for a in producer.loop.args:
+        if isinstance(a.dat, OpDat):
+            dat, writes = prod_access.get(id(a.dat), (a.dat, False))
+            prod_access[id(a.dat)] = (dat, writes or a.access.writes)
+    out: list[OpDat] = []
+    seen: set[int] = set()
+    for a in consumer.loop.args:
+        if not isinstance(a.dat, OpDat) or id(a.dat) in seen:
+            continue
+        hit = prod_access.get(id(a.dat))
+        if hit is None:
+            continue
+        dat, prod_writes = hit
+        if prod_writes or a.access.writes:
+            seen.add(id(a.dat))
+            out.append(dat)
+    return out
+
+
+class HpxDataflowBackend(Backend):
+    """Automatic dependence-driven asynchronous execution."""
+
+    name = "hpx_dataflow"
+    asynchronous = True
+
+    def __init__(self) -> None:
+        self.tracker: DatDependencyTracker[int] = DatDependencyTracker()
+        self._futures: dict[int, Future] = {}
+        self._blockdep_cache: dict[tuple, list[np.ndarray]] = {}
+
+    def on_attach(self, rt: Op2Runtime) -> None:
+        self.tracker.reset()
+        self._futures.clear()
+
+    def run_loop(
+        self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
+    ) -> Future:
+        mode = self._exec_mode(rt)
+        dep_ids = self.tracker.dependencies(list(loop.args), token=loop_id)
+        dep_futures = [self._futures[d] for d in dep_ids if d in self._futures]
+
+        def body(*_ready: Any) -> None:
+            execute_loop(loop, mode=mode)
+
+        result = dataflow(body, *dep_futures, name=f"dataflow.{loop.name}")
+        self._futures[loop_id] = result
+        return result
+
+    def finalize(self, rt: Op2Runtime) -> None:
+        for loop_id in self.tracker.outstanding():
+            fut = self._futures.get(loop_id)
+            if fut is not None:
+                fut.get()
+        rt.hpx.executor.drain()
+
+    # -- emission ------------------------------------------------------------
+
+    def _block_deps(
+        self, producer: LoopRecord, consumer: LoopRecord, dat: OpDat
+    ) -> list[np.ndarray]:
+        """Cached consumer-block -> producer-block relation (P-independent)."""
+        key = (
+            producer.loop.name,
+            id(producer.plan),
+            consumer.loop.name,
+            id(consumer.plan),
+            id(dat),
+        )
+        deps = self._blockdep_cache.get(key)
+        if deps is None:
+            deps = block_dependencies(producer, consumer, dat)
+            self._blockdep_cache[key] = deps
+        return deps
+
+    def emit(
+        self,
+        log: LoopLog,
+        machine: MachineConfig,
+        num_threads: int,
+        cost_model: Any,
+    ) -> TaskGraph:
+        graph = TaskGraph()
+        tracker: DatDependencyTracker[int] = DatDependencyTracker()
+        rec_by_id: dict[int, LoopRecord] = {}
+        gate_of: dict[int, int] = {}
+        block_tids: dict[int, dict[int, int]] = {}  # loop_id -> {block: tid}
+
+        for rec in log.loops():
+            rec_by_id[rec.loop_id] = rec
+            dep_ids = tracker.dependencies(list(rec.loop.args), token=rec.loop_id)
+
+            # Per-block producer edges plus gate-level fallbacks (global
+            # reductions, empty refinements).
+            extra: dict[int, set[int]] = {}
+            fallback: set[int] = set()
+            for pid in dep_ids:
+                producer = rec_by_id[pid]
+                shared = _hazard_dats(producer, rec)
+                if not shared:
+                    fallback.add(gate_of[pid])
+                    continue
+                ptids = block_tids[pid]
+                for dat in shared:
+                    refined = self._block_deps(producer, rec, dat)
+                    for b, producer_blocks in enumerate(refined):
+                        if len(producer_blocks) == 0:
+                            continue
+                        bucket = extra.setdefault(b, set())
+                        for j in producer_blocks:
+                            bucket.add(ptids[int(j)])
+
+            costs = record_block_costs(rec, machine, num_threads, cost_model)
+            mem = rec.loop.kernel.cost.mem_fraction
+            tids: dict[int, int] = {}
+            prev_gate: int | None = None
+            all_tids: list[int] = []
+            for color, color_blocks in enumerate(rec.plan.classes):
+                color_tids = []
+                for b in color_blocks:
+                    deps = set(extra.get(b, ()))
+                    deps.update(fallback)
+                    if prev_gate is not None:
+                        deps.add(prev_gate)
+                    tid = graph.add(
+                        f"{rec.loop.name}[{rec.loop_id}].blk{b}",
+                        costs[b],
+                        sorted(deps),
+                        affinity=None,
+                        kind="work",
+                        loop=rec.loop.name,
+                        mem_fraction=mem,
+                    )
+                    tids[b] = tid
+                    color_tids.append(tid)
+                    all_tids.append(tid)
+                if rec.plan.ncolors > 1:
+                    prev_gate = add_gate(
+                        graph,
+                        f"{rec.loop.name}[{rec.loop_id}].gate.c{color}",
+                        color_tids,
+                        loop=rec.loop.name,
+                    )
+            gate_of[rec.loop_id] = add_gate(
+                graph,
+                f"{rec.loop.name}[{rec.loop_id}].done",
+                all_tids if all_tids else [],
+                loop=rec.loop.name,
+            )
+            block_tids[rec.loop_id] = tids
+        return graph

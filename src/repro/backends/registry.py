@@ -1,0 +1,57 @@
+"""Backend registry: name -> factory.
+
+Mirrors OP2's code-generator targets: the application picks a backend by
+name, everything else is unchanged (the point of an active library).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.backends.base import Backend
+from repro.op2.exceptions import Op2Error
+
+_REGISTRY: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (idempotent re-register)."""
+    if not name:
+        raise Op2Error("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def create_backend(name: str) -> Backend:
+    """Instantiate a registered backend by name."""
+    _ensure_builtin()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise Op2Error(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    _ensure_builtin()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtin() -> None:
+    """Lazily register the built-in backends (avoids import cycles)."""
+    if "seq" in _REGISTRY:
+        return
+    from repro.backends.seq import SeqBackend
+    from repro.backends.openmp import OpenMPBackend
+    from repro.backends.foreach import ForEachBackend
+    from repro.backends.hpx_async import HpxAsyncBackend
+    from repro.backends.hpx_dataflow import HpxDataflowBackend
+
+    register_backend("seq", SeqBackend)
+    register_backend("openmp", OpenMPBackend)
+    register_backend("foreach", ForEachBackend)
+    register_backend("foreach_static", lambda: ForEachBackend(static_chunking=True))
+    register_backend("hpx_async", HpxAsyncBackend)
+    register_backend("hpx_dataflow", HpxDataflowBackend)

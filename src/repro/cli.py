@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``info``      — version, backends, machine model summary;
+- ``figures``   — regenerate the paper's figures (15–19) and the claim table;
+- ``airfoil``   — run the Airfoil solver (backend/mesh/iterations flags);
+- ``heat``      — run the heat-conduction application;
+- ``translate`` — source-to-source translate an application file (or the
+  bundled Airfoil source) for a chosen backend target;
+- ``dist``      — distributed Airfoil: validate the SPMD run and compare the
+  bulk-synchronous vs overlapped cluster schedules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.backends.registry import available_backends
+    from repro.sim.machine import paper_machine
+
+    m = paper_machine()
+    print(f"repro {repro.__version__}")
+    print(f"backends: {', '.join(available_backends())}")
+    print(
+        f"machine model: {m.num_cores} cores x {m.smt_ways} SMT "
+        f"(eff {m.smt_efficiency}), barrier {m.barrier_model} "
+        f"{m.barrier_base}+{m.barrier_per_thread}/thread us"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments import figures as F
+    from repro.experiments.report import claim_check
+
+    config = (
+        ExperimentConfig(ni=120, nj=96, niter=2)
+        if args.quick
+        else ExperimentConfig(niter=3)
+    )
+    weak = ExperimentConfig(ni=120, nj=48, niter=config.niter)
+    wanted = args.only or ["15", "16", "17", "18", "19"]
+    built = {}
+    builders = {
+        "15": ("fig15", lambda: F.fig15_exec_time(config)),
+        "16": ("fig16", lambda: F.fig16_foreach_chunking(config)),
+        "17": ("fig17", lambda: F.fig17_async(config)),
+        "18": ("fig18", lambda: F.fig18_dataflow(config)),
+        "19": ("fig19", lambda: F.fig19_weak_scaling(weak)),
+    }
+    for key in wanted:
+        if key not in builders:
+            print(f"unknown figure {key!r}; choose from {sorted(builders)}")
+            return 2
+        name, build = builders[key]
+        fig = build()
+        built[name] = fig
+        print(F.render_figure(fig, plot=args.plot))
+        print()
+    report = claim_check(**built)
+    if report.checks:
+        print(report.render())
+        print(f"all claims hold: {report.all_hold}")
+        return 0 if report.all_hold else 1
+    return 0
+
+
+def _cmd_airfoil(args: argparse.Namespace) -> int:
+    from repro.airfoil import AirfoilApp, generate_mesh
+    from repro.airfoil.metrics import compute_forces
+    from repro.op2 import op2_session
+
+    mesh = generate_mesh(ni=args.ni, nj=args.nj)
+    print(mesh.summary())
+    with op2_session(
+        backend=args.backend, num_threads=args.threads, block_size=args.block_size
+    ) as rt:
+        app = AirfoilApp(mesh)
+        result = app.run(rt, args.iters)
+        forces = compute_forces(app, rt)
+    print(
+        f"{args.iters} iters on {args.backend}: "
+        f"rms {result.final_rms(mesh.cells.size):.6f}, "
+        f"c_d {forces.drag:+.5f}, c_l {forces.lift:+.5f}"
+    )
+    return 0
+
+
+def _cmd_heat(args: argparse.Namespace) -> int:
+    from repro.airfoil import generate_mesh
+    from repro.apps.heat import HeatApp
+    from repro.op2 import op2_session
+
+    mesh = generate_mesh(ni=args.ni, nj=args.nj)
+    with op2_session(backend=args.backend, num_threads=args.threads) as rt:
+        app = HeatApp(mesh)
+        result = app.run(rt, max_steps=args.steps, tol=args.tol, check_every=10)
+    print(
+        f"{result.steps} steps on {args.backend}: converged={result.converged}, "
+        f"max |dT| {result.max_change:.3e}, energy {result.total_energy:.9f}"
+    )
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from repro.codegen import translate_source
+    from repro.codegen.apps import AIRFOIL_SOURCE
+
+    source = Path(args.input).read_text() if args.input else AIRFOIL_SOURCE
+    text, loops = translate_source(source, args.target, static_chunk=args.chunk)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(loops)} loops, "
+              f"{len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.airfoil import ReferenceAirfoil, generate_mesh
+    from repro.dist.app import DistAirfoil
+    from repro.dist.emission import DistScheduleConfig, emit_distributed
+    from repro.sim.engine import simulate
+
+    mesh = generate_mesh(ni=args.ni, nj=args.nj)
+    dist = DistAirfoil(mesh, args.ranks, partitioner=args.partitioner)
+    dist.run(args.iters)
+    ref = ReferenceAirfoil(mesh)
+    ref.run(args.iters)
+    err = float(np.abs(dist.gather_q() - ref.q).max())
+    print(f"{dist.dplan.describe()}; max |q - q_ref| = {err:.2e}")
+
+    config = DistScheduleConfig(threads_per_node=args.threads, niter=2)
+    machine = config.cluster_machine(args.ranks)
+    tb = simulate(
+        emit_distributed(dist.dplan, mesh, config, "blocking"),
+        machine, machine.num_cores,
+    ).makespan
+    to = simulate(
+        emit_distributed(dist.dplan, mesh, config, "overlapped"),
+        machine, machine.num_cores,
+    ).makespan
+    print(
+        f"cluster schedule: bulk-sync {tb / 1000:.3f} ms, "
+        f"overlapped {to / 1000:.3f} ms (gain {tb / to - 1.0:+.1%})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version, backends, machine model")
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--quick", action="store_true", help="smaller mesh (~5x faster)")
+    p.add_argument("--plot", action="store_true", help="include ASCII plots")
+    p.add_argument(
+        "--only", nargs="*", metavar="N",
+        help="subset of figures, e.g. --only 17 18",
+    )
+
+    p = sub.add_parser("airfoil", help="run the Airfoil solver")
+    p.add_argument("--backend", default="hpx_dataflow")
+    p.add_argument("--ni", type=int, default=120)
+    p.add_argument("--nj", type=int, default=96)
+    p.add_argument("--iters", type=int, default=20)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--block-size", type=int, default=128)
+
+    p = sub.add_parser("heat", help="run the heat application")
+    p.add_argument("--backend", default="hpx_dataflow")
+    p.add_argument("--ni", type=int, default=48)
+    p.add_argument("--nj", type=int, default=24)
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--tol", type=float, default=0.0)
+
+    p = sub.add_parser("translate", help="source-to-source translate")
+    p.add_argument("--target", default="hpx_dataflow")
+    p.add_argument("--input", help="application source (default: bundled Airfoil)")
+    p.add_argument("--output", help="write generated module here (default: stdout)")
+    p.add_argument("--chunk", type=int, default=1, help="static chunk size")
+
+    p = sub.add_parser("dist", help="distributed Airfoil")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--ni", type=int, default=96)
+    p.add_argument("--nj", type=int, default=48)
+    p.add_argument("--iters", type=int, default=3)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--partitioner", default="rcb", choices=["rcb", "band"])
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "figures": _cmd_figures,
+    "airfoil": _cmd_airfoil,
+    "heat": _cmd_heat,
+    "translate": _cmd_translate,
+    "dist": _cmd_dist,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

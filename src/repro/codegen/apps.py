@@ -1,0 +1,91 @@
+"""Application sources used as translator input.
+
+``AIRFOIL_SOURCE`` is the Airfoil timestep written exactly as the paper's
+Fig 4 application code: plain ``op_par_loop`` calls against a context object
+``ctx`` holding the sets/maps/dats. Targets that return futures handle their
+own synchronization (async: end-of-call get via the returned futures being
+driven at ``finish``; dataflow: tracker-driven), so one source serves every
+backend — which is the whole point of an active library.
+"""
+
+AIRFOIL_SOURCE = '''\
+def airfoil_step(ctx):
+    """One Airfoil timestep (paper Fig 4): five op_par_loop calls."""
+    r_save = op_par_loop(ctx.kernels["save_soln"], "save_soln", ctx.cells,
+        op_arg_dat(ctx.p_q, -1, OP_ID, OP_READ),
+        op_arg_dat(ctx.p_qold, -1, OP_ID, OP_WRITE))
+    results = [r_save]
+    for _k in range(2):
+        r_adt = op_par_loop(ctx.kernels["adt_calc"], "adt_calc", ctx.cells,
+            op_arg_dat(ctx.p_x, 0, ctx.pcell, OP_READ),
+            op_arg_dat(ctx.p_x, 1, ctx.pcell, OP_READ),
+            op_arg_dat(ctx.p_x, 2, ctx.pcell, OP_READ),
+            op_arg_dat(ctx.p_x, 3, ctx.pcell, OP_READ),
+            op_arg_dat(ctx.p_q, -1, OP_ID, OP_READ),
+            op_arg_dat(ctx.p_adt, -1, OP_ID, OP_WRITE))
+        ctx.sync(r_adt)
+        r_res = op_par_loop(ctx.kernels["res_calc"], "res_calc", ctx.edges,
+            op_arg_dat(ctx.p_x, 0, ctx.pedge, OP_READ),
+            op_arg_dat(ctx.p_x, 1, ctx.pedge, OP_READ),
+            op_arg_dat(ctx.p_q, 0, ctx.pecell, OP_READ),
+            op_arg_dat(ctx.p_q, 1, ctx.pecell, OP_READ),
+            op_arg_dat(ctx.p_adt, 0, ctx.pecell, OP_READ),
+            op_arg_dat(ctx.p_adt, 1, ctx.pecell, OP_READ),
+            op_arg_dat(ctx.p_res, 0, ctx.pecell, OP_INC),
+            op_arg_dat(ctx.p_res, 1, ctx.pecell, OP_INC))
+        r_bres = op_par_loop(ctx.kernels["bres_calc"], "bres_calc", ctx.bedges,
+            op_arg_dat(ctx.p_x, 0, ctx.pbedge, OP_READ),
+            op_arg_dat(ctx.p_x, 1, ctx.pbedge, OP_READ),
+            op_arg_dat(ctx.p_q, 0, ctx.pbecell, OP_READ),
+            op_arg_dat(ctx.p_adt, 0, ctx.pbecell, OP_READ),
+            op_arg_dat(ctx.p_res, 0, ctx.pbecell, OP_INC),
+            op_arg_dat(ctx.p_bound, -1, OP_ID, OP_READ),
+            op_arg_gbl(ctx.g_qinf, OP_READ))
+        ctx.sync(r_res, r_bres, results[0])
+        r_update = op_par_loop(ctx.kernels["update"], "update", ctx.cells,
+            op_arg_dat(ctx.p_qold, -1, OP_ID, OP_READ),
+            op_arg_dat(ctx.p_q, -1, OP_ID, OP_WRITE),
+            op_arg_dat(ctx.p_res, -1, OP_ID, OP_RW),
+            op_arg_dat(ctx.p_adt, -1, OP_ID, OP_READ),
+            op_arg_gbl(ctx.g_rms, OP_INC))
+        ctx.sync(r_update)
+        results.extend([r_adt, r_res, r_bres, r_update])
+    return results
+'''
+
+
+class AirfoilContext:
+    """The ``ctx`` object ``AIRFOIL_SOURCE`` is written against.
+
+    Wraps an :class:`~repro.airfoil.app.AirfoilApp`'s sets/maps/dats and
+    provides the ``sync`` hook: waiting for futures under the async target,
+    a no-op under dataflow (dependence tracking already orders loops) and
+    under the synchronous targets (nothing to wait for).
+    """
+
+    def __init__(self, app, mesh, target: str) -> None:
+        self.kernels = app.kernels
+        self.cells = mesh.cells
+        self.edges = mesh.edges
+        self.bedges = mesh.bedges
+        self.pcell = mesh.pcell
+        self.pedge = mesh.pedge
+        self.pecell = mesh.pecell
+        self.pbedge = mesh.pbedge
+        self.pbecell = mesh.pbecell
+        self.p_x = app.p_x
+        self.p_bound = app.p_bound
+        self.p_q = app.p_q
+        self.p_qold = app.p_qold
+        self.p_res = app.p_res
+        self.p_adt = app.p_adt
+        self.g_rms = app.g_rms
+        self.g_qinf = app.g_qinf
+        self._wait = target == "hpx_async"
+
+    def sync(self, *futures) -> None:
+        if not self._wait:
+            return
+        for f in futures:
+            if f is not None:
+                f.get()

@@ -1,0 +1,72 @@
+"""The loop intermediate representation the translator works on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArgIR:
+    """One ``op_arg_dat``/``op_arg_gbl`` call site, as source snippets."""
+
+    #: source text of the dat/global expression (e.g. ``ctx.p_q``).
+    dat_src: str
+    #: map index literal (-1 for direct).
+    idx: int
+    #: source text of the map expression, or None for OP_ID/global.
+    map_src: str | None
+    #: access mode name: "OP_READ", "OP_WRITE", "OP_RW", "OP_INC", ...
+    access: str
+    #: True for op_arg_gbl call sites.
+    is_global: bool = False
+
+    @property
+    def is_direct(self) -> bool:
+        return self.map_src is None and not self.is_global
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.map_src is not None
+
+    def reconstruct(self) -> str:
+        """Source text that recreates this argument at run time."""
+        if self.is_global:
+            return f"op_arg_gbl({self.dat_src}, {self.access})"
+        map_part = self.map_src if self.map_src is not None else "OP_ID"
+        return f"op_arg_dat({self.dat_src}, {self.idx}, {map_part}, {self.access})"
+
+
+@dataclass(frozen=True)
+class ParLoopIR:
+    """One ``op_par_loop`` call site."""
+
+    #: loop name string literal ("save_soln").
+    name: str
+    #: source text of the kernel expression.
+    kernel_src: str
+    #: source text of the iteration-set expression.
+    set_src: str
+    args: tuple[ArgIR, ...] = field(default_factory=tuple)
+    #: 1-based line number of the call in the input source.
+    lineno: int = 0
+
+    @property
+    def is_direct(self) -> bool:
+        """Paper §II-A: direct iff no argument is accessed through a map."""
+        return all(not a.is_indirect for a in self.args)
+
+    @property
+    def has_indirect_reduction(self) -> bool:
+        return any(
+            a.is_indirect and a.access in ("OP_INC", "OP_MIN", "OP_MAX")
+            for a in self.args
+        )
+
+    @property
+    def generated_name(self) -> str:
+        """Name of the generated loop function (OP2's naming convention)."""
+        return f"op_par_loop_{self.name}"
+
+    def describe(self) -> str:
+        kind = "direct" if self.is_direct else "indirect"
+        return f"{self.name} ({kind}, {len(self.args)} args, line {self.lineno})"

@@ -1,0 +1,172 @@
+"""AST-level extraction of ``op_par_loop`` call sites from application source.
+
+The translator never executes the application — it reads the source, finds
+calls of the form::
+
+    op_par_loop(<kernel expr>, "<name>", <set expr>,
+                op_arg_dat(<dat>, <idx>, <map or OP_ID>, <ACCESS>),
+                ...,
+                op_arg_gbl(<gbl>, <ACCESS>))
+
+and lifts each into a :class:`~repro.codegen.ir.ParLoopIR`. Malformed call
+sites produce :class:`CodegenError` with the offending line, mirroring the
+diagnostics of OP2's real translator.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.codegen.ir import ArgIR, ParLoopIR
+from repro.util.validate import ReproError
+
+ACCESS_NAMES = frozenset(
+    ["OP_READ", "OP_WRITE", "OP_RW", "OP_INC", "OP_MIN", "OP_MAX"]
+)
+
+
+class CodegenError(ReproError):
+    """The translator could not understand an op_par_loop call site."""
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _access_name(node: ast.expr, lineno: int) -> str:
+    if isinstance(node, ast.Name) and node.id in ACCESS_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in ACCESS_NAMES:
+        return node.attr
+    raise CodegenError(
+        f"line {lineno}: expected an access mode (OP_READ/...), got "
+        f"{ast.unparse(node)!r}"
+    )
+
+
+def _int_literal(node: ast.expr, lineno: int, what: str) -> int:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    raise CodegenError(
+        f"line {lineno}: {what} must be an integer literal, got "
+        f"{ast.unparse(node)!r}"
+    )
+
+
+def _parse_arg(node: ast.expr, lineno: int) -> ArgIR:
+    if not isinstance(node, ast.Call):
+        raise CodegenError(
+            f"line {lineno}: loop argument must be op_arg_dat/op_arg_gbl, "
+            f"got {ast.unparse(node)!r}"
+        )
+    fname = _call_name(node)
+    if fname == "op_arg_gbl":
+        if len(node.args) != 2:
+            raise CodegenError(
+                f"line {lineno}: op_arg_gbl takes (global, access), got "
+                f"{len(node.args)} args"
+            )
+        return ArgIR(
+            dat_src=ast.unparse(node.args[0]),
+            idx=-1,
+            map_src=None,
+            access=_access_name(node.args[1], lineno),
+            is_global=True,
+        )
+    if fname == "op_arg_dat":
+        if len(node.args) != 4:
+            raise CodegenError(
+                f"line {lineno}: op_arg_dat takes (dat, idx, map, access), "
+                f"got {len(node.args)} args"
+            )
+        dat_src = ast.unparse(node.args[0])
+        idx = _int_literal(node.args[1], lineno, "map index")
+        map_node = node.args[2]
+        is_op_id = (isinstance(map_node, ast.Name) and map_node.id == "OP_ID") or (
+            isinstance(map_node, ast.Attribute) and map_node.attr == "OP_ID"
+        ) or (isinstance(map_node, ast.Constant) and map_node.value is None)
+        map_src = None if is_op_id else ast.unparse(map_node)
+        if map_src is None and idx != -1:
+            raise CodegenError(
+                f"line {lineno}: direct argument {dat_src!r} must use idx=-1"
+            )
+        return ArgIR(
+            dat_src=dat_src,
+            idx=idx,
+            map_src=map_src,
+            access=_access_name(node.args[3], lineno),
+        )
+    raise CodegenError(
+        f"line {lineno}: loop argument must be op_arg_dat/op_arg_gbl, got "
+        f"call to {fname!r}"
+    )
+
+
+def parse_loops(source: str) -> list[ParLoopIR]:
+    """All ``op_par_loop`` call sites in ``source``, in textual order."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise CodegenError(f"input source does not parse: {exc}") from exc
+    loops: list[ParLoopIR] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or _call_name(node) != "op_par_loop":
+            continue
+        lineno = node.lineno
+        if len(node.args) < 3:
+            raise CodegenError(
+                f"line {lineno}: op_par_loop needs (kernel, name, set, args...)"
+            )
+        name_node = node.args[1]
+        if not (
+            isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)
+        ):
+            raise CodegenError(
+                f"line {lineno}: loop name must be a string literal, got "
+                f"{ast.unparse(name_node)!r}"
+            )
+        loops.append(
+            ParLoopIR(
+                name=name_node.value,
+                kernel_src=ast.unparse(node.args[0]),
+                set_src=ast.unparse(node.args[2]),
+                args=tuple(_parse_arg(a, lineno) for a in node.args[3:]),
+                lineno=lineno,
+            )
+        )
+    return loops
+
+
+def rewrite_calls(source: str) -> str:
+    """Rewrite each ``op_par_loop(k, "x", ...)`` to ``op_par_loop_x(k, ...)``.
+
+    This is the application-side rewrite OP2's translator performs: the call
+    target becomes the generated per-loop function.
+    """
+
+    class Rewriter(ast.NodeTransformer):
+        def visit_Call(self, node: ast.Call) -> ast.Call:
+            self.generic_visit(node)
+            if _call_name(node) == "op_par_loop" and len(node.args) >= 3:
+                name_node = node.args[1]
+                if isinstance(name_node, ast.Constant) and isinstance(
+                    name_node.value, str
+                ):
+                    node.func = ast.Name(
+                        id=f"op_par_loop_{name_node.value}", ctx=ast.Load()
+                    )
+            return node
+
+    tree = ast.parse(source)
+    return ast.unparse(Rewriter().visit(tree))

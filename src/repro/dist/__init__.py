@@ -1,0 +1,44 @@
+"""Distributed (multi-locality) execution: the paper's next chapter.
+
+OP2's production configuration is MPI across nodes + OpenMP within a node
+(paper §I), and HPX is "a distributed runtime system for parallel
+applications of any scale"; the paper's evaluation stops at one node and
+names distribution as the road ahead. This subpackage builds that road for
+the reproduction:
+
+- :mod:`~repro.dist.partition` — geometric partitioners (coordinate bands
+  and recursive coordinate bisection) over mesh cells;
+- :mod:`~repro.dist.plan` — per-rank localization: owned + halo elements,
+  renumbered maps, import/export lists (the owner-compute model OP2 uses);
+- :mod:`~repro.dist.exchange` — halo exchanges: owner->halo updates for
+  read dats and halo->owner accumulation for indirect increments;
+- :mod:`~repro.dist.app` — a genuinely SPMD Airfoil: every rank runs the
+  five loops on its local submesh with exchanges in between, validated to
+  match the single-rank solver exactly;
+- :mod:`~repro.dist.comm` / :mod:`~repro.dist.emission` — a latency/
+  bandwidth communication model and task-graph emission for two distributed
+  schedules: *blocking* (fork-join compute, bulk-synchronous exchange — the
+  MPI+OpenMP baseline) and *overlapped* (boundary-first compute with
+  exchanges running under interior work — the HPX dataflow style).
+"""
+
+from repro.dist.partition import band_partition, rcb_partition, partition_quality
+from repro.dist.plan import DistPlan, RankPlan, build_dist_plan
+from repro.dist.exchange import HaloExchange
+from repro.dist.app import DistAirfoil
+from repro.dist.comm import CommModel
+from repro.dist.emission import emit_distributed, DistScheduleConfig
+
+__all__ = [
+    "band_partition",
+    "rcb_partition",
+    "partition_quality",
+    "DistPlan",
+    "RankPlan",
+    "build_dist_plan",
+    "HaloExchange",
+    "DistAirfoil",
+    "CommModel",
+    "emit_distributed",
+    "DistScheduleConfig",
+]

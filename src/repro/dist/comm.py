@@ -1,0 +1,41 @@
+"""Inter-node communication cost model.
+
+Standard alpha-beta (Hockney) model: a message of ``n`` bytes between two
+nodes costs ``latency + n / bandwidth`` microseconds. Defaults approximate a
+commodity cluster interconnect of the paper's era (QDR InfiniBand-ish:
+~1.5 us latency, ~3 GB/s effective per link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Alpha-beta message cost, times in microseconds."""
+
+    #: per-message latency (us).
+    latency: float = 1.5
+    #: effective bandwidth (bytes per us; 3000 B/us = 3 GB/s).
+    bandwidth: float = 3000.0
+    #: per-message CPU cost of packing/unpacking on the endpoints (us),
+    #: plus a per-byte gather/scatter cost.
+    pack_base: float = 0.3
+    pack_per_byte: float = 0.0005
+
+    def __post_init__(self) -> None:
+        check_positive("latency", self.latency, strict=False)
+        check_positive("bandwidth", self.bandwidth)
+        check_positive("pack_base", self.pack_base, strict=False)
+        check_positive("pack_per_byte", self.pack_per_byte, strict=False)
+
+    def wire_cost(self, nbytes: int) -> float:
+        """Time on the wire for one message."""
+        return self.latency + nbytes / self.bandwidth
+
+    def pack_cost(self, nbytes: int) -> float:
+        """Endpoint CPU time to pack (or unpack) one message."""
+        return self.pack_base + nbytes * self.pack_per_byte

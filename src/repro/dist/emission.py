@@ -1,0 +1,341 @@
+"""Task-graph emission for distributed Airfoil schedules.
+
+Two schedules over the same work and the same messages:
+
+- **blocking** (the MPI+OpenMP baseline): each loop is a node-local
+  fork-join (split across the node's threads + node barrier); halo
+  exchanges happen in bulk-synchronous phases (every rank packs, the wire
+  carries, every rank unpacks, then a global gate — MPI_Waitall + barrier
+  semantics) before the next loop starts anywhere.
+- **overlapped** (the HPX dataflow style): each rank's loops split into a
+  *boundary* part (cells/edges adjacent to partition cuts) and an *interior*
+  part. Boundary `adt_calc` runs first so packs/sends start early; interior
+  compute proceeds under the wire; only the exterior edges of `res_calc`
+  wait for imports. Exactly the communication/computation overlap the paper
+  credits HPX's futures for (§V: "seamless overlap of communication with
+  computation").
+
+The simulated machine is a cluster: ``ranks`` nodes x ``threads_per_node``
+cores, plus one NIC pseudo-thread per node that serializes its outgoing
+messages. Work costs come from the same kernel cost model as the single-node
+figures; message sizes come from the *actual* import/export lists of the
+distribution plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.airfoil.kernels import make_kernels
+from repro.airfoil.constants import DEFAULT_CONSTANTS
+from repro.dist.comm import CommModel
+from repro.dist.plan import DistPlan
+from repro.sim.barriers import barrier_cost
+from repro.sim.machine import MachineConfig
+from repro.sim.task import TaskGraph
+
+
+@dataclass(frozen=True)
+class DistScheduleConfig:
+    """Knobs of the distributed emission."""
+
+    threads_per_node: int = 8
+    niter: int = 2
+    comm: CommModel = CommModel()
+    #: barrier/overhead constants reuse the single-node machine model.
+    node_machine: MachineConfig = MachineConfig(num_cores=64, smt_ways=1)
+
+    def cluster_machine(self, ranks: int) -> MachineConfig:
+        """Flat simulated pool: ranks*threads compute cores + one NIC each."""
+        return MachineConfig(
+            num_cores=ranks * self.threads_per_node + ranks,
+            smt_ways=1,
+            task_overhead=self.node_machine.task_overhead,
+            steal_overhead=self.node_machine.steal_overhead,
+            fork_overhead=self.node_machine.fork_overhead,
+            chunk_spawn_overhead=self.node_machine.chunk_spawn_overhead,
+            barrier_base=self.node_machine.barrier_base,
+            barrier_per_thread=self.node_machine.barrier_per_thread,
+            join_base=self.node_machine.join_base,
+            join_per_thread=self.node_machine.join_per_thread,
+            bandwidth_saturation=self.node_machine.bandwidth_saturation,
+        )
+
+
+@dataclass
+class _RankWork:
+    """Per-rank work decomposition (element counts -> costs)."""
+
+    boundary_cells: int
+    interior_cells: int
+    exterior_edges: int
+    interior_edges: int
+    bedges: int
+    #: bytes sent to each neighbor per q/adt update and per res accumulate.
+    out_bytes: dict[int, int]
+
+
+def _decompose(dplan: DistPlan, mesh) -> list[_RankWork]:
+    """Boundary/interior split and message sizes per rank."""
+    owner = dplan.owner
+    pecell = mesh.pecell.values
+    cut = owner[pecell[:, 0]] != owner[pecell[:, 1]]
+    works: list[_RankWork] = []
+    for rp in dplan.plans:
+        my_cut = cut[rp.edges]
+        exterior = int(np.sum(my_cut))
+        interior = len(rp.edges) - exterior
+        # Boundary cells: owned endpoints of cut edges (superset of exports).
+        cut_edges = rp.edges[my_cut]
+        endpoints = np.unique(pecell[cut_edges].ravel())
+        boundary = int(np.sum(owner[endpoints] == rp.rank))
+        out_bytes = {
+            s: len(idx) * 8 for s, idx in rp.exports.items()
+        }  # per dim-1 float64 row; scaled by dim at use sites
+        works.append(
+            _RankWork(
+                boundary_cells=boundary,
+                interior_cells=rp.n_owned - boundary,
+                exterior_edges=exterior,
+                interior_edges=interior,
+                bedges=len(rp.bedges),
+                out_bytes=out_bytes,
+            )
+        )
+    return works
+
+
+class _Emitter:
+    """Shared machinery for both schedules."""
+
+    def __init__(self, dplan: DistPlan, mesh, config: DistScheduleConfig) -> None:
+        self.dplan = dplan
+        self.config = config
+        self.graph = TaskGraph()
+        self.works = _decompose(dplan, mesh)
+        self.kernels = make_kernels(DEFAULT_CONSTANTS)
+        self.P = config.threads_per_node
+        self.R = dplan.ranks
+
+    def thread(self, node: int, t: int) -> int:
+        return node * self.P + t
+
+    def nic(self, node: int) -> int:
+        return self.R * self.P + node
+
+    def unit(self, kernel: str) -> float:
+        return self.kernels[kernel].cost.unit_cost
+
+    def part(
+        self, name: str, node: int, total_cost: float, deps: list[int], loop: str
+    ) -> list[int]:
+        """Emit one loop part as equal per-thread chunks on ``node``."""
+        per = total_cost / self.P
+        return [
+            self.graph.add(
+                f"{name}.n{node}.t{t}",
+                per,
+                deps,
+                affinity=self.thread(node, t),
+                kind="work",
+                loop=loop,
+            )
+            for t in range(self.P)
+        ]
+
+    def node_barrier(self, name: str, node: int, deps: list[int]) -> int:
+        return self.graph.add(
+            name,
+            barrier_cost(self.config.node_machine, self.P),
+            deps,
+            affinity=self.thread(node, 0),
+            kind="barrier",
+        )
+
+    def message(
+        self, name: str, src: int, dst: int, nbytes: int, deps: list[int]
+    ) -> int:
+        """pack (src cpu) -> wire (src NIC) -> unpack (dst cpu)."""
+        comm = self.config.comm
+        pack = self.graph.add(
+            f"{name}.pack",
+            comm.pack_cost(nbytes),
+            deps,
+            affinity=self.thread(src, 0),
+            kind="spawn",
+            loop="exchange",
+        )
+        wire = self.graph.add(
+            f"{name}.wire",
+            comm.wire_cost(nbytes),
+            [pack],
+            affinity=self.nic(src),
+            kind="join",
+            loop="exchange",
+        )
+        return self.graph.add(
+            f"{name}.unpack",
+            comm.pack_cost(nbytes),
+            [wire],
+            affinity=self.thread(dst, 0),
+            kind="spawn",
+            loop="exchange",
+        )
+
+    def global_gate(self, name: str, deps: list[int]) -> int:
+        """MPI_Waitall + barrier across all ranks (tree over the network)."""
+        cost = self.config.comm.latency * max(1.0, math.ceil(math.log2(max(self.R, 2))))
+        return self.graph.add(name, cost, deps, affinity=None, kind="barrier")
+
+
+def emit_distributed(
+    dplan: DistPlan,
+    mesh,
+    config: DistScheduleConfig,
+    schedule: str = "blocking",
+) -> TaskGraph:
+    """Emit the distributed Airfoil run under the given schedule."""
+    if schedule == "blocking":
+        return _emit_blocking(_Emitter(dplan, mesh, config))
+    if schedule == "overlapped":
+        return _emit_overlapped(_Emitter(dplan, mesh, config))
+    raise ValueError(f"unknown schedule {schedule!r}; use 'blocking' or 'overlapped'")
+
+
+def _emit_blocking(e: _Emitter) -> TaskGraph:
+    cfg = e.config
+    gate: int | None = None
+    for it in range(cfg.niter):
+        # save_soln: node-local fork-join everywhere.
+        tails = []
+        for r, w in enumerate(e.works):
+            cost = (w.boundary_cells + w.interior_cells) * e.unit("save_soln")
+            tasks = e.part(f"save[{it}]", r, cost, [gate] if gate is not None else [], "save_soln")
+            tails.append(e.node_barrier(f"save.bar[{it}].n{r}", r, tasks))
+        gate = e.global_gate(f"save.gate[{it}]", tails)
+
+        for k in range(2):
+            tag = f"{it}.{k}"
+            # adt_calc.
+            tails = []
+            for r, w in enumerate(e.works):
+                cost = (w.boundary_cells + w.interior_cells) * e.unit("adt_calc")
+                tasks = e.part(f"adt[{tag}]", r, cost, [gate], "adt_calc")
+                tails.append(e.node_barrier(f"adt.bar[{tag}].n{r}", r, tasks))
+            gate = e.global_gate(f"adt.gate[{tag}]", tails)
+
+            # Bulk-synchronous halo update of q (dim 4) and adt (dim 1).
+            unpacks = []
+            for r, w in enumerate(e.works):
+                for s, rows in w.out_bytes.items():
+                    unpacks.append(
+                        e.message(f"upd[{tag}].{r}->{s}", r, s, rows * 5, [gate])
+                    )
+            gate = e.global_gate(f"upd.gate[{tag}]", unpacks or [gate])
+
+            # res_calc + bres_calc.
+            tails = []
+            for r, w in enumerate(e.works):
+                cost = (w.exterior_edges + w.interior_edges) * e.unit("res_calc")
+                tasks = e.part(f"res[{tag}]", r, cost, [gate], "res_calc")
+                bcost = w.bedges * e.unit("bres_calc")
+                tasks += e.part(f"bres[{tag}]", r, bcost, [gate], "bres_calc")
+                tails.append(e.node_barrier(f"res.bar[{tag}].n{r}", r, tasks))
+            gate = e.global_gate(f"res.gate[{tag}]", tails)
+
+            # Bulk-synchronous accumulate of res (dim 4), reversed direction.
+            unpacks = []
+            for r, w in enumerate(e.works):
+                for s, rows in w.out_bytes.items():
+                    unpacks.append(
+                        e.message(f"acc[{tag}].{s}->{r}", s, r, rows * 4, [gate])
+                    )
+            gate = e.global_gate(f"acc.gate[{tag}]", unpacks or [gate])
+
+            # update.
+            tails = []
+            for r, w in enumerate(e.works):
+                cost = (w.boundary_cells + w.interior_cells) * e.unit("update")
+                tasks = e.part(f"update[{tag}]", r, cost, [gate], "update")
+                tails.append(e.node_barrier(f"update.bar[{tag}].n{r}", r, tasks))
+            gate = e.global_gate(f"update.gate[{tag}]", tails)
+    return e.graph
+
+
+def _emit_overlapped(e: _Emitter) -> TaskGraph:
+    cfg = e.config
+    # Per-rank rolling dependency: the last update (per rank), no global gates.
+    last_update: list[list[int]] = [[] for _ in range(e.R)]
+    last_save: list[list[int]] = [[] for _ in range(e.R)]
+    for it in range(cfg.niter):
+        for r, w in enumerate(e.works):
+            cost = (w.boundary_cells + w.interior_cells) * e.unit("save_soln")
+            last_save[r] = e.part(f"save[{it}]", r, cost, last_update[r], "save_soln")
+
+        for k in range(2):
+            tag = f"{it}.{k}"
+            adt_b: list[list[int]] = [[] for _ in range(e.R)]
+            adt_i: list[list[int]] = [[] for _ in range(e.R)]
+            q_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
+
+            for r, w in enumerate(e.works):
+                deps = last_update[r]
+                # q can ship as soon as the previous update finished.
+                for s, rows in w.out_bytes.items():
+                    q_unpacks[s].append(
+                        e.message(f"updq[{tag}].{r}->{s}", r, s, rows * 4, deps)
+                    )
+                # Boundary adt first: its results feed the adt messages.
+                adt_b[r] = e.part(
+                    f"adt_b[{tag}]", r, w.boundary_cells * e.unit("adt_calc"),
+                    deps, "adt_calc",
+                )
+                adt_i[r] = e.part(
+                    f"adt_i[{tag}]", r, w.interior_cells * e.unit("adt_calc"),
+                    deps, "adt_calc",
+                )
+
+            adt_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
+            for r, w in enumerate(e.works):
+                for s, rows in w.out_bytes.items():
+                    adt_unpacks[s].append(
+                        e.message(f"upda[{tag}].{r}->{s}", r, s, rows, adt_b[r])
+                    )
+
+            res_parts: list[list[int]] = [[] for _ in range(e.R)]
+            res_x: list[list[int]] = [[] for _ in range(e.R)]
+            for r, w in enumerate(e.works):
+                # Interior edges need only local adt.
+                res_i = e.part(
+                    f"res_i[{tag}]", r, w.interior_edges * e.unit("res_calc"),
+                    adt_b[r] + adt_i[r], "res_calc",
+                )
+                # Exterior edges additionally wait for the imports.
+                res_x[r] = e.part(
+                    f"res_x[{tag}]", r, w.exterior_edges * e.unit("res_calc"),
+                    adt_b[r] + adt_i[r] + q_unpacks[r] + adt_unpacks[r], "res_calc",
+                )
+                bres = e.part(
+                    f"bres[{tag}]", r, w.bedges * e.unit("bres_calc"),
+                    adt_b[r] + adt_i[r], "bres_calc",
+                )
+                res_parts[r] = res_i + res_x[r] + bres
+
+            acc_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
+            for r, w in enumerate(e.works):
+                # r owns the cells listed in exports[r][s]; rank s holds them
+                # as halo and its exterior edges incremented them, so the
+                # accumulate message flows s -> r once s's exterior part ran.
+                for s, rows in w.out_bytes.items():
+                    acc_unpacks[r].append(
+                        e.message(f"accr[{tag}].{s}->{r}", s, r, rows * 4, res_x[s])
+                    )
+
+            for r, w in enumerate(e.works):
+                deps = res_parts[r] + acc_unpacks[r] + last_save[r]
+                cost = (w.boundary_cells + w.interior_cells) * e.unit("update")
+                last_update[r] = e.part(f"update[{tag}]", r, cost, deps, "update")
+    return e.graph

@@ -1,0 +1,91 @@
+"""Geometric mesh partitioners.
+
+Cells are assigned to ranks by position (their centroid). Two strategies:
+
+- :func:`band_partition` — equal-count bands along one coordinate of an
+  ordering key; on the O-mesh, cell ids are already j-major, so banding ids
+  yields radial rings (contiguous memory, long thin boundaries);
+- :func:`rcb_partition` — recursive coordinate bisection over centroids:
+  splits the longest axis at the median, recursively; compact subdomains
+  with short boundaries, the standard geometric partitioner.
+
+:func:`partition_quality` reports balance and edge cut, the two quantities a
+partition trades off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.airfoil.meshgen import AirfoilMesh
+from repro.util.validate import ValidationError
+
+
+def cell_centroids(mesh: AirfoilMesh) -> np.ndarray:
+    """Cell centroids: mean of the four corner nodes."""
+    return mesh.x.data[mesh.pcell.values].mean(axis=1)
+
+
+def band_partition(ncells: int, ranks: int) -> np.ndarray:
+    """Contiguous equal-count bands of cell ids; returns rank per cell."""
+    if ranks < 1:
+        raise ValidationError(f"ranks must be >= 1, got {ranks}")
+    if ncells < ranks:
+        raise ValidationError(f"{ranks} ranks need at least {ranks} cells")
+    bounds = np.linspace(0, ncells, ranks + 1).astype(np.int64)
+    owner = np.empty(ncells, dtype=np.int64)
+    for r in range(ranks):
+        owner[bounds[r] : bounds[r + 1]] = r
+    return owner
+
+
+def rcb_partition(centers: np.ndarray, ranks: int) -> np.ndarray:
+    """Recursive coordinate bisection; returns rank per point.
+
+    Ranks need not be a power of two: each split divides the rank range
+    (and the point set) proportionally.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or centers.shape[1] < 2:
+        raise ValidationError("centers must be an (n, 2+) array")
+    if ranks < 1:
+        raise ValidationError(f"ranks must be >= 1, got {ranks}")
+    n = centers.shape[0]
+    if n < ranks:
+        raise ValidationError(f"{ranks} ranks need at least {ranks} points")
+    owner = np.zeros(n, dtype=np.int64)
+
+    def split(indices: np.ndarray, lo_rank: int, hi_rank: int) -> None:
+        nranks = hi_rank - lo_rank
+        if nranks == 1:
+            owner[indices] = lo_rank
+            return
+        left_ranks = nranks // 2
+        frac = left_ranks / nranks
+        pts = centers[indices]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = np.argsort(pts[:, axis], kind="stable")
+        cut = int(round(len(indices) * frac))
+        cut = min(max(cut, 1), len(indices) - 1)
+        split(indices[order[:cut]], lo_rank, lo_rank + left_ranks)
+        split(indices[order[cut:]], lo_rank + left_ranks, hi_rank)
+
+    split(np.arange(n, dtype=np.int64), 0, ranks)
+    return owner
+
+
+def partition_quality(
+    owner: np.ndarray, pecell: np.ndarray
+) -> dict[str, float]:
+    """Balance and edge cut of a cell partition.
+
+    Returns:
+        imbalance: max rank size over mean rank size (1.0 = perfect);
+        edge_cut: fraction of interior edges whose two cells differ in rank.
+    """
+    owner = np.asarray(owner)
+    counts = np.bincount(owner)
+    imbalance = float(counts.max() / counts.mean()) if counts.size else 1.0
+    cut = owner[pecell[:, 0]] != owner[pecell[:, 1]]
+    edge_cut = float(np.mean(cut)) if len(cut) else 0.0
+    return {"imbalance": imbalance, "edge_cut": edge_cut}

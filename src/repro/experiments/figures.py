@@ -1,0 +1,216 @@
+"""Figure builders: one function per figure of the paper's evaluation.
+
+Each builder returns a :class:`FigureSeries` holding the same series the
+paper plots, produced by simulating the backends' task graphs on the machine
+model. Times are abstract milliseconds (only ratios are meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.airfoil import generate_mesh
+from repro.airfoil.meshgen import scaled_mesh_dims
+from repro.backends.costs import LoopCostModel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_backend, simulate_backend
+from repro.sim.metrics import efficiency_series, speedup_series
+from repro.util.tables import Table, ascii_plot
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one reproduced figure."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    #: series name -> (xs, ys)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def gain(self, better: str, baseline: str, at_x: float) -> float:
+        """Relative improvement of ``better`` over ``baseline`` at ``at_x``.
+
+        For time series (lower is better) this is time reduction; for
+        speedup/efficiency series (higher is better) call with the series
+        swapped semantics in mind — we define gain as
+        ``better_y / baseline_y - 1`` for "higher is better" series and the
+        caller picks the right orientation via :attr:`ylabel`.
+        """
+        xb, yb = self.series[better]
+        xo, yo = self.series[baseline]
+        ib = xb.index(at_x)
+        io = xo.index(at_x)
+        if "time" in self.ylabel.lower():
+            return yo[io] / yb[ib] - 1.0
+        return yb[ib] / yo[io] - 1.0
+
+
+def render_figure(fig: FigureSeries, *, plot: bool = True) -> str:
+    """ASCII rendering: a table of every series plus an optional plot."""
+    columns = [fig.xlabel] + list(fig.series)
+    table = Table(columns)
+    xs = next(iter(fig.series.values()))[0]
+    for i, x in enumerate(xs):
+        row = [x] + [fig.series[name][1][i] for name in fig.series]
+        table.add_row(row)
+    parts = [f"== {fig.figure}: {fig.title} ==", table.render()]
+    if fig.notes:
+        notes = ", ".join(f"{k}={v:.4g}" for k, v in fig.notes.items())
+        parts.append(f"notes: {notes}")
+    if plot:
+        parts.append(ascii_plot(fig.series, title=f"{fig.ylabel} vs {fig.xlabel}"))
+    return "\n".join(parts)
+
+
+def _time_sweep(
+    backend: str, config: ExperimentConfig, mesh, cost_model: LoopCostModel
+) -> list[float]:
+    """Simulated makespans (ms) across the configured thread counts."""
+    run = run_backend(backend, config, mesh)
+    return [
+        simulate_backend(run, config, p, cost_model).makespan / 1000.0
+        for p in config.threads
+    ]
+
+
+def fig15_exec_time(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig 15: execution time of Airfoil under the four strategies."""
+    config = config or ExperimentConfig()
+    mesh = generate_mesh(**config.mesh_kwargs())
+    cost_model = LoopCostModel(jitter=config.cost_jitter)
+    xs = [float(p) for p in config.threads]
+    fig = FigureSeries(
+        figure="fig15",
+        title="Airfoil execution time: OpenMP vs for_each vs async vs dataflow",
+        xlabel="threads",
+        ylabel="execution time (ms, simulated)",
+    )
+    for backend, label in (
+        ("openmp", "omp parallel for"),
+        ("foreach", "for_each"),
+        ("hpx_async", "async"),
+        ("hpx_dataflow", "dataflow"),
+    ):
+        fig.series[label] = (xs, _time_sweep(backend, config, mesh, cost_model))
+    t1 = {name: ys[0] for name, (xs_, ys) in fig.series.items()}
+    fig.notes["max_1thread_spread"] = max(t1.values()) / min(t1.values()) - 1.0
+    return fig
+
+
+def _speedup_figure(
+    figure: str,
+    title: str,
+    backends: list[tuple[str, str]],
+    config: ExperimentConfig,
+) -> FigureSeries:
+    mesh = generate_mesh(**config.mesh_kwargs())
+    cost_model = LoopCostModel(jitter=config.cost_jitter)
+    xs = [float(p) for p in config.threads]
+    fig = FigureSeries(
+        figure=figure,
+        title=title,
+        xlabel="threads",
+        ylabel="speedup (vs 1 thread)",
+    )
+    for backend, label in backends:
+        times = _time_sweep(backend, config, mesh, cost_model)
+        fig.series[label] = (xs, speedup_series(list(config.threads), times))
+    return fig
+
+
+def fig16_foreach_chunking(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig 16: strong scaling, OpenMP vs for_each auto/static chunk size."""
+    config = config or ExperimentConfig()
+    fig = _speedup_figure(
+        "fig16",
+        "Strong scaling: OpenMP vs for_each(par) auto vs static chunk",
+        [
+            ("openmp", "omp parallel for"),
+            ("foreach", "for_each auto chunk"),
+            ("foreach_static", "for_each static chunk"),
+        ],
+        config,
+    )
+    last = -1
+    fig.notes["static_over_auto_at_max"] = (
+        fig.series["for_each static chunk"][1][last]
+        / fig.series["for_each auto chunk"][1][last]
+        - 1.0
+    )
+    fig.notes["omp_over_static_at_max"] = (
+        fig.series["omp parallel for"][1][last]
+        / fig.series["for_each static chunk"][1][last]
+        - 1.0
+    )
+    return fig
+
+
+def fig17_async(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig 17: strong scaling, OpenMP vs async+for_each(par(task)) (~5%)."""
+    config = config or ExperimentConfig()
+    fig = _speedup_figure(
+        "fig17",
+        "Strong scaling: OpenMP vs async with for_each(par(task))",
+        [("openmp", "omp parallel for"), ("hpx_async", "async")],
+        config,
+    )
+    fig.notes["async_gain_at_max"] = (
+        fig.series["async"][1][-1] / fig.series["omp parallel for"][1][-1] - 1.0
+    )
+    return fig
+
+
+def fig18_dataflow(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig 18: strong scaling, OpenMP vs dataflow (~21%)."""
+    config = config or ExperimentConfig()
+    fig = _speedup_figure(
+        "fig18",
+        "Strong scaling: OpenMP vs dataflow",
+        [("openmp", "omp parallel for"), ("hpx_dataflow", "dataflow")],
+        config,
+    )
+    fig.notes["dataflow_gain_at_max"] = (
+        fig.series["dataflow"][1][-1] / fig.series["omp parallel for"][1][-1] - 1.0
+    )
+    return fig
+
+
+def fig19_weak_scaling(config: ExperimentConfig | None = None) -> FigureSeries:
+    """Fig 19: weak scaling efficiency (problem size grows with threads)."""
+    config = config or ExperimentConfig()
+    cost_model = LoopCostModel(jitter=config.cost_jitter)
+    xs = [float(p) for p in config.threads]
+    fig = FigureSeries(
+        figure="fig19",
+        title="Weak scaling efficiency relative to 1 thread",
+        xlabel="threads",
+        ylabel="weak-scaling efficiency",
+    )
+    backends = (
+        ("openmp", "omp parallel for"),
+        ("foreach", "for_each"),
+        ("hpx_async", "async"),
+        ("hpx_dataflow", "dataflow"),
+    )
+    # Per-thread meshes are shared across backends.
+    meshes = {}
+    for p in config.threads:
+        ni, nj = scaled_mesh_dims(config.ni, config.nj, p)
+        meshes[p] = generate_mesh(ni=ni, nj=nj)
+    for backend, label in backends:
+        times = []
+        for p in config.threads:
+            run = run_backend(backend, config, meshes[p])
+            times.append(simulate_backend(run, config, p, cost_model).makespan / 1000.0)
+        fig.series[label] = (
+            xs,
+            efficiency_series(list(config.threads), times, weak=True),
+        )
+    eff_at_max = {name: ys[-1] for name, (x_, ys) in fig.series.items()}
+    fig.notes["best_at_max_is_dataflow"] = float(
+        max(eff_at_max, key=eff_at_max.get) == "dataflow"
+    )
+    return fig

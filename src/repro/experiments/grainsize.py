@@ -1,0 +1,94 @@
+"""Grain-size study: the task-size/performance trade-off (paper ref [6]).
+
+The paper leans on Grubel et al., "The Performance Implication of Task Size
+for Applications on the HPX Runtime System" (CLUSTER 2015): task grain must
+be large enough to amortize per-task overhead and small enough to keep all
+threads busy. This experiment reproduces that U-shaped curve on the machine
+model: a fixed amount of work is split into tasks of varying size and
+scheduled work-stealing on P threads.
+
+Where Airfoil's chunk-size ablation (bench A2) sweeps the knob inside one
+application, this study isolates the mechanism with a synthetic workload —
+the same methodology as the cited paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.sim.task import TaskGraph
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class GrainPoint:
+    """One sampled grain size."""
+
+    task_size: float  # us of work per task
+    num_tasks: int
+    makespan: float
+    efficiency: float  # ideal time / measured time
+
+
+def grain_size_curve(
+    machine: MachineConfig,
+    threads: int,
+    total_work: float = 100_000.0,
+    task_sizes: list[float] | None = None,
+) -> list[GrainPoint]:
+    """Efficiency vs task size for fixed total work on ``threads`` threads.
+
+    Efficiency compares against the ideal ``total_work / threads`` (no
+    overhead, perfect balance). Small tasks drown in ``task_overhead``;
+    oversized tasks leave threads idle at the tail.
+    """
+    if total_work <= 0:
+        raise ValidationError(f"total_work must be > 0, got {total_work}")
+    if task_sizes is None:
+        task_sizes = [float(s) for s in np.logspace(-1, 4, 16)]
+    engine = SimulationEngine(machine, threads)
+    ideal = total_work / threads
+    points: list[GrainPoint] = []
+    for size in task_sizes:
+        if size <= 0:
+            raise ValidationError(f"task sizes must be > 0, got {size}")
+        n = max(1, round(total_work / size))
+        actual = total_work / n
+        graph = TaskGraph()
+        for i in range(n):
+            graph.add(f"t{i}", actual)
+        result = engine.run(graph, collect_trace=False)
+        points.append(
+            GrainPoint(
+                task_size=actual,
+                num_tasks=n,
+                makespan=result.makespan,
+                efficiency=ideal / result.makespan,
+            )
+        )
+    return points
+
+
+def best_grain(points: list[GrainPoint]) -> GrainPoint:
+    """The sampled point with the highest efficiency."""
+    if not points:
+        raise ValidationError("no grain points sampled")
+    return max(points, key=lambda p: p.efficiency)
+
+
+def is_u_shaped(points: list[GrainPoint], slack: float = 0.02) -> bool:
+    """True when efficiency rises to a peak then falls (within ``slack``).
+
+    The signature finding of the grain-size study: both extremes lose.
+    """
+    if len(points) < 3:
+        return False
+    eff = [p.efficiency for p in points]
+    peak = int(np.argmax(eff))
+    rises = eff[peak] > eff[0] + slack
+    falls = eff[peak] > eff[-1] + slack
+    return bool(rises and falls)

@@ -1,0 +1,117 @@
+"""Paper-vs-measured comparison records (the source for EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import PAPER_CLAIMS
+from repro.experiments.figures import FigureSeries
+
+
+@dataclass
+class ClaimCheck:
+    """One paper claim and what we measured."""
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+
+@dataclass
+class ExperimentReport:
+    """Collected checks for a set of reproduced figures."""
+
+    checks: list[ClaimCheck] = field(default_factory=list)
+
+    def add(self, claim: str, paper: str, measured: str, holds: bool) -> None:
+        self.checks.append(ClaimCheck(claim, paper, measured, holds))
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self) -> str:
+        lines = ["| claim | paper | measured | holds |", "|---|---|---|---|"]
+        for c in self.checks:
+            mark = "yes" if c.holds else "NO"
+            lines.append(
+                f"| {c.claim} | {c.paper_value} | {c.measured_value} | {mark} |"
+            )
+        return "\n".join(lines)
+
+
+def claim_check(
+    fig15: FigureSeries | None = None,
+    fig16: FigureSeries | None = None,
+    fig17: FigureSeries | None = None,
+    fig18: FigureSeries | None = None,
+    fig19: FigureSeries | None = None,
+) -> ExperimentReport:
+    """Check the paper's headline claims against reproduced figures."""
+    report = ExperimentReport()
+
+    if fig15 is not None:
+        spread = fig15.notes["max_1thread_spread"]
+        report.add(
+            "fig15: all strategies equal at 1 thread",
+            f"same performance (±{PAPER_CLAIMS['equal_at_1_thread_tol']:.0%})",
+            f"1-thread spread {spread:.1%}",
+            spread <= PAPER_CLAIMS["equal_at_1_thread_tol"],
+        )
+
+    if fig16 is not None:
+        static_gain = fig16.notes["static_over_auto_at_max"]
+        omp_gain = fig16.notes["omp_over_static_at_max"]
+        report.add(
+            "fig16: static chunk beats auto chunk",
+            "static > auto for large loops",
+            f"static over auto at 32T: {static_gain:+.1%}",
+            static_gain > 0,
+        )
+        report.add(
+            "fig16: OpenMP still beats plain for_each",
+            "OpenMP > for_each(par)",
+            f"OpenMP over static for_each at 32T: {omp_gain:+.1%}",
+            omp_gain > 0,
+        )
+
+    if fig17 is not None:
+        gain = fig17.notes["async_gain_at_max"]
+        target = PAPER_CLAIMS["async_gain_at_32"]
+        report.add(
+            "fig17: async beats OpenMP at 32 threads",
+            f"~{target:.0%} improvement",
+            f"{gain:+.1%}",
+            0.0 < gain,
+        )
+
+    if fig18 is not None:
+        gain = fig18.notes["dataflow_gain_at_max"]
+        target = PAPER_CLAIMS["dataflow_gain_at_32"]
+        report.add(
+            "fig18: dataflow beats OpenMP at 32 threads",
+            f"~{target:.0%} improvement",
+            f"{gain:+.1%}",
+            gain > PAPER_CLAIMS["async_gain_at_32"],
+        )
+
+    if fig17 is not None and fig18 is not None:
+        report.add(
+            "dataflow gain exceeds async gain",
+            "21% vs 5%",
+            f"{fig18.notes['dataflow_gain_at_max']:+.1%} vs "
+            f"{fig17.notes['async_gain_at_max']:+.1%}",
+            fig18.notes["dataflow_gain_at_max"]
+            > fig17.notes["async_gain_at_max"],
+        )
+
+    if fig19 is not None:
+        report.add(
+            "fig19: dataflow has best weak-scaling efficiency",
+            "dataflow best",
+            f"best_at_max_is_dataflow={bool(fig19.notes['best_at_max_is_dataflow'])}",
+            bool(fig19.notes["best_at_max_is_dataflow"]),
+        )
+
+    return report

@@ -1,0 +1,112 @@
+"""Run one backend on the Airfoil app and measure it on the machine model.
+
+The pipeline per (backend, mesh):
+
+1. run the app *functionally* under the backend (numerics + loop log);
+2. validate the numerics against the plain-numpy reference;
+3. for each thread count, have the backend emit its task graph from the log
+   and simulate it on the machine model.
+
+Step 1/2 are thread-count independent (the logical execution is the same),
+so a full thread sweep costs one functional run plus one simulation per P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.airfoil import AirfoilApp, AirfoilResult, ReferenceAirfoil, generate_mesh
+from repro.airfoil.meshgen import AirfoilMesh
+from repro.airfoil.validation import compare_states
+from repro.backends.costs import LoopCostModel
+from repro.experiments.config import ExperimentConfig
+from repro.op2.runtime import LoopLog, Op2Runtime
+from repro.sim.engine import SimResult, SimulationEngine
+from repro.sim.task import TaskGraph
+
+
+@dataclass
+class BackendRun:
+    """Everything one functional run produced."""
+
+    backend: str
+    mesh: AirfoilMesh
+    result: AirfoilResult
+    log: LoopLog
+    runtime: Op2Runtime
+    #: max relative deviation from the numpy reference, per field.
+    validation: dict[str, float] = field(default_factory=dict)
+
+    def emit_graph(
+        self, config: ExperimentConfig, num_threads: int, cost_model: LoopCostModel
+    ) -> TaskGraph:
+        return self.runtime.backend.emit(
+            self.log, config.machine, num_threads, cost_model
+        )
+
+
+def run_backend(
+    backend: str,
+    config: ExperimentConfig,
+    mesh: AirfoilMesh | None = None,
+    validate: bool = True,
+) -> BackendRun:
+    """Functional run of the Airfoil app under ``backend``."""
+    if mesh is None:
+        mesh = generate_mesh(**config.mesh_kwargs())
+    rt = Op2Runtime(
+        backend=backend,
+        num_threads=4,  # logical workers for functional execution only
+        block_size=config.block_size,
+    )
+    previous = rt.activate()
+    try:
+        app = AirfoilApp(mesh)
+        result = app.run(rt, config.niter)
+    finally:
+        rt.deactivate(previous)
+
+    validation: dict[str, float] = {}
+    if validate:
+        ref = ReferenceAirfoil(mesh)
+        ref.run(config.niter)
+        validation = compare_states(app, ref, tol=1e-9)
+
+    return BackendRun(
+        backend=backend,
+        mesh=mesh,
+        result=result,
+        log=rt.log,
+        runtime=rt,
+        validation=validation,
+    )
+
+
+def simulate_backend(
+    run: BackendRun,
+    config: ExperimentConfig,
+    num_threads: int,
+    cost_model: LoopCostModel | None = None,
+    trace: bool = False,
+) -> SimResult:
+    """Simulated execution of a recorded run at ``num_threads``."""
+    if cost_model is None:
+        cost_model = LoopCostModel(jitter=config.cost_jitter)
+    graph = run.emit_graph(config, num_threads, cost_model)
+    engine = SimulationEngine(config.machine, num_threads)
+    return engine.run(graph, collect_trace=trace)
+
+
+def sweep(
+    backend: str,
+    config: ExperimentConfig,
+    mesh: AirfoilMesh | None = None,
+    validate: bool = True,
+) -> tuple[BackendRun, dict[int, SimResult]]:
+    """Functional run + simulation across the configured thread counts."""
+    run = run_backend(backend, config, mesh, validate=validate)
+    cost_model = LoopCostModel(jitter=config.cost_jitter)
+    results = {
+        p: simulate_backend(run, config, p, cost_model) for p in config.threads
+    }
+    return run, results

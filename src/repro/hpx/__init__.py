@@ -1,0 +1,66 @@
+"""An HPX-like asynchronous many-task runtime, in Python.
+
+This subpackage mirrors the slice of HPX used by the paper:
+
+- :class:`~repro.hpx.future.Future` / :func:`~repro.hpx.future.when_all` —
+  the asynchronous result primitive (paper §II-B, Fig 3).
+- :func:`~repro.hpx.runtime.async_` — asynchronous function invocation
+  returning a future (paper Fig 8).
+- :func:`~repro.hpx.dataflow.dataflow` — delayed invocation until all future
+  arguments are ready (paper §III-B, Figs 11–12).
+- :mod:`~repro.hpx.parallel` — ``for_each``-style parallel algorithms with
+  execution policies ``seq`` / ``par`` / ``par(task)`` (paper §III-A).
+- :mod:`~repro.hpx.chunking` — HPX's auto-partitioner and static chunk sizes
+  (paper Figs 6–7).
+
+Execution is cooperative: the executor multiplexes logical worker queues on
+the calling OS thread (CPython's GIL makes real thread scaling meaningless for
+pure-Python tasks). The *scheduling structure* — who waits on what, when
+barriers happen, how work is stolen — is identical to the real runtime and is
+what the paper's claims are about; timing behaviour is replayed on the
+discrete-event machine model in :mod:`repro.sim`.
+"""
+
+from repro.hpx.future import Future, FutureError, make_ready_future, when_all
+from repro.hpx.executor import TaskExecutor, ExecutorStats
+from repro.hpx.policies import ExecutionPolicy, seq, par, par_task
+from repro.hpx.chunking import (
+    AutoPartitioner,
+    StaticChunkSize,
+    DynamicChunkSize,
+    GuessChunkSize,
+)
+from repro.hpx.parallel import for_each, for_loop, transform, reduce_
+from repro.hpx.dataflow import dataflow, unwrapped
+from repro.hpx.runtime import HPXRuntime, async_, get_runtime, set_runtime
+from repro.hpx.sync import Latch, Barrier, CountingSemaphore
+
+__all__ = [
+    "Future",
+    "FutureError",
+    "make_ready_future",
+    "when_all",
+    "TaskExecutor",
+    "ExecutorStats",
+    "ExecutionPolicy",
+    "seq",
+    "par",
+    "par_task",
+    "AutoPartitioner",
+    "StaticChunkSize",
+    "DynamicChunkSize",
+    "GuessChunkSize",
+    "for_each",
+    "for_loop",
+    "transform",
+    "reduce_",
+    "dataflow",
+    "unwrapped",
+    "HPXRuntime",
+    "async_",
+    "get_runtime",
+    "set_runtime",
+    "Latch",
+    "Barrier",
+    "CountingSemaphore",
+]

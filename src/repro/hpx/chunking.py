@@ -1,0 +1,168 @@
+"""Chunkers: how an iteration space is split into tasks.
+
+Mirrors HPX's chunk-size machinery (paper §III-A1):
+
+- :class:`AutoPartitioner` — HPX's default ``auto_partitioner``: sequentially
+  executes ~1% of the loop to estimate per-iteration cost, then picks a chunk
+  size targeting a fixed number of chunks per worker. The serial prefix is the
+  scalability liability the paper calls out for large loops (Fig 16).
+- :class:`StaticChunkSize` — ``hpx::execution::static_chunk_size(n)``; fixed
+  grain, no measurement prefix (paper Fig 7).
+- :class:`DynamicChunkSize` — fixed grain but handed out on demand
+  (self-scheduling); identical decomposition, different scheduling hint.
+- :class:`GuessChunkSize` — divide evenly, one chunk per worker per round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.util.validate import ValidationError, check_positive
+
+#: Chunks-per-worker target used by the auto partitioner after measuring.
+CHUNKS_PER_WORKER = 4
+
+#: Fraction of the iteration space the auto partitioner executes serially.
+MEASURE_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous ``[start, stop)`` slice of the iteration space."""
+
+    start: int
+    stop: int
+    #: True when the chunk was executed inline as a measurement prefix.
+    serial_prefix: bool = False
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+class Chunker(ABC):
+    """Strategy object that splits ``n`` iterations for ``num_workers``."""
+
+    #: Whether chunks should be handed out on demand (self-scheduling) rather
+    #: than pre-assigned. Only a scheduling hint; decomposition is identical.
+    dynamic: bool = False
+
+    @abstractmethod
+    def chunks(self, n: int, num_workers: int) -> list[Chunk]:
+        """Split ``range(n)`` into chunks. Must exactly cover the range."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _split_fixed(start: int, n: int, size: int) -> list[Chunk]:
+    """Split ``[start, n)`` into chunks of ``size`` (last may be short)."""
+    return [Chunk(i, min(i + size, n)) for i in range(start, n, size)]
+
+
+class StaticChunkSize(Chunker):
+    """Fixed chunk size chosen by the programmer before loop execution."""
+
+    def __init__(self, size: int) -> None:
+        check_positive("chunk size", size)
+        self.size = int(size)
+
+    def chunks(self, n: int, num_workers: int) -> list[Chunk]:
+        if n < 0:
+            raise ValidationError(f"iteration count must be >= 0, got {n}")
+        return _split_fixed(0, n, self.size)
+
+    def describe(self) -> str:
+        return f"static_chunk_size({self.size})"
+
+
+class DynamicChunkSize(StaticChunkSize):
+    """Fixed grain handed out on demand (OpenMP ``schedule(dynamic)`` flavor)."""
+
+    dynamic = True
+
+    def describe(self) -> str:
+        return f"dynamic_chunk_size({self.size})"
+
+
+class GuessChunkSize(Chunker):
+    """Even split: ceil(n / workers) per chunk, one chunk per worker."""
+
+    def chunks(self, n: int, num_workers: int) -> list[Chunk]:
+        if n < 0:
+            raise ValidationError(f"iteration count must be >= 0, got {n}")
+        if n == 0:
+            return []
+        check_positive("num_workers", num_workers)
+        size = -(-n // num_workers)  # ceil division
+        return _split_fixed(0, n, size)
+
+
+class AutoPartitioner(Chunker):
+    """HPX's auto partitioner: measure ~1% serially, then chunk the rest.
+
+    The first ``max(1, round(n * measure_fraction))`` iterations are marked as
+    a *serial prefix* chunk. The caller executes that chunk inline (optionally
+    timing it via ``cost_probe``), after which the remaining iterations are
+    split into ``CHUNKS_PER_WORKER`` chunks per worker.
+
+    ``cost_probe``, when given, receives the measured per-iteration cost and
+    may return an overriding chunk size — the hook the simulator uses to model
+    cost-aware grain selection without wall-clock nondeterminism.
+    """
+
+    def __init__(
+        self,
+        measure_fraction: float = MEASURE_FRACTION,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+        cost_probe: Callable[[float], int] | None = None,
+    ) -> None:
+        if not 0.0 < measure_fraction < 1.0:
+            raise ValidationError(
+                f"measure_fraction must be in (0, 1), got {measure_fraction}"
+            )
+        check_positive("chunks_per_worker", chunks_per_worker)
+        self.measure_fraction = measure_fraction
+        self.chunks_per_worker = int(chunks_per_worker)
+        self.cost_probe = cost_probe
+
+    def prefix_length(self, n: int) -> int:
+        """Number of iterations executed serially for measurement."""
+        if n <= 1:
+            return n
+        return max(1, round(n * self.measure_fraction))
+
+    def chunks(self, n: int, num_workers: int) -> list[Chunk]:
+        if n < 0:
+            raise ValidationError(f"iteration count must be >= 0, got {n}")
+        if n == 0:
+            return []
+        check_positive("num_workers", num_workers)
+        prefix = self.prefix_length(n)
+        out = [Chunk(0, prefix, serial_prefix=True)]
+        rest = n - prefix
+        if rest == 0:
+            return out
+        target_chunks = self.chunks_per_worker * num_workers
+        size = max(1, -(-rest // target_chunks))
+        if self.cost_probe is not None:
+            override = self.cost_probe(1.0)
+            if override > 0:
+                size = override
+        out.extend(_split_fixed(prefix, n, size))
+        return out
+
+    def describe(self) -> str:
+        return f"auto_partitioner({self.measure_fraction:g})"
+
+
+def validate_cover(chunks: list[Chunk], n: int) -> None:
+    """Raise unless ``chunks`` exactly tile ``range(n)`` in order."""
+    pos = 0
+    for c in chunks:
+        if c.start != pos or c.stop < c.start:
+            raise ValidationError(f"chunks do not tile range({n}): {chunks!r}")
+        pos = c.stop
+    if pos != n:
+        raise ValidationError(f"chunks cover [0, {pos}), expected [0, {n})")

@@ -1,0 +1,89 @@
+"""``dataflow``: delayed invocation until all future arguments are ready.
+
+A dataflow object encapsulates a function ``F(in_1, ..., in_n)``; as soon as
+the last future input has been received, ``F`` is scheduled for execution
+(paper Fig 11). Non-future arguments pass straight through; ``unwrapped``
+replaces each future argument with its value before calling the wrapped
+function (paper Fig 12).
+
+Chaining dataflow calls builds the implicit execution tree the paper credits
+for the 21% scaling win: only genuine data dependencies order execution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.hpx.future import Future, when_all
+from repro.hpx.runtime import get_runtime
+
+
+class _Unwrapped:
+    """Marker wrapper produced by :func:`unwrapped`."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    @property
+    def __name__(self) -> str:
+        return getattr(self.fn, "__name__", "unwrapped")
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.fn(*args, **kwargs)
+
+
+def unwrapped(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark ``fn`` so :func:`dataflow` passes future *values*, not futures."""
+    return _Unwrapped(fn)
+
+
+def dataflow(fn: Callable[..., Any], *args: Any, name: str = "") -> Future:
+    """Schedule ``fn(*args)`` once every :class:`Future` in ``args`` is ready.
+
+    Returns the future of ``fn``'s result. If ``fn`` itself returns a future,
+    the result future is satisfied with that future's value once *it* becomes
+    ready (one level of automatic unwrapping, as HPX does).
+    """
+    runtime = get_runtime()
+    executor = runtime.executor
+    label = name or f"dataflow.{getattr(fn, '__name__', 'fn')}"
+
+    future_args = [a for a in args if isinstance(a, Future)]
+    out = Future(executor, name=label)
+
+    def invoke(_: Any) -> None:
+        # Re-raise the first failed dependency into the result.
+        for fa in future_args:
+            if fa.has_exception():
+                out.set_exception(fa._error)  # type: ignore[arg-type]
+                return
+
+        if isinstance(fn, _Unwrapped):
+            call_args = [a.get() if isinstance(a, Future) else a for a in args]
+        else:
+            call_args = list(args)
+
+        def run() -> None:
+            try:
+                result = fn(*call_args)
+            except BaseException as exc:  # noqa: BLE001 - stored in the future
+                out.set_exception(exc)
+                return
+            if isinstance(result, Future):
+                def forward(f: Future) -> None:
+                    if f.has_exception():
+                        out.set_exception(f._error)  # type: ignore[arg-type]
+                    else:
+                        out.set_value(f._value)
+                result._on_ready(forward)
+            else:
+                out.set_value(result)
+
+        executor.post(run, name=label)
+
+    gate = when_all(future_args, executor)
+    gate._on_ready(invoke)
+    return out

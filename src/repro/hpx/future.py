@@ -1,0 +1,178 @@
+"""Futures: asynchronous results with continuations.
+
+A :class:`Future` is a computational result that is initially unknown but
+becomes available at a later time (paper §II-B). ``future.get()`` suspends the
+*caller* only; other tasks keep making progress because ``get`` drives the
+executor's scheduling loop until the value arrives — exactly the behaviour of
+Fig 3 in the paper, transplanted onto a cooperative executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TYPE_CHECKING
+
+from repro.util.validate import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hpx.executor import TaskExecutor
+
+
+class FutureError(ReproError):
+    """Misuse of a future (double set, get without executor, ...)."""
+
+
+class _State(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    FAILED = "failed"
+
+
+class Future:
+    """A single-assignment asynchronous value.
+
+    Futures are created by the executor (``async_``, ``par(task)`` algorithms,
+    ``dataflow``) or explicitly via :func:`make_ready_future`. Continuations
+    attached with :meth:`then` run on the executor once the value is set.
+    """
+
+    __slots__ = ("_state", "_value", "_error", "_callbacks", "_executor", "name")
+
+    def __init__(self, executor: "TaskExecutor | None" = None, name: str = "") -> None:
+        self._state = _State.PENDING
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[[Future], None]] = []
+        self._executor = executor
+        self.name = name
+
+    # -- inspection ---------------------------------------------------------
+
+    def is_ready(self) -> bool:
+        """True once a value or an exception has been stored."""
+        return self._state is not _State.PENDING
+
+    def has_exception(self) -> bool:
+        return self._state is _State.FAILED
+
+    # -- production ---------------------------------------------------------
+
+    def set_value(self, value: Any) -> None:
+        """Store the result and fire continuations. Single assignment."""
+        if self._state is not _State.PENDING:
+            raise FutureError(f"future {self.name or id(self)} already satisfied")
+        self._state = _State.READY
+        self._value = value
+        self._fire()
+
+    def set_exception(self, error: BaseException) -> None:
+        """Store an exception; ``get`` will re-raise it."""
+        if self._state is not _State.PENDING:
+            raise FutureError(f"future {self.name or id(self)} already satisfied")
+        self._state = _State.FAILED
+        self._error = error
+        self._fire()
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # -- consumption --------------------------------------------------------
+
+    def get(self) -> Any:
+        """Block (cooperatively) until the value is available and return it.
+
+        Only the calling task is suspended: pending tasks continue to run on
+        the executor while we wait, which is the barrier-elimination property
+        the paper relies on.
+        """
+        if self._state is _State.PENDING:
+            if self._executor is None:
+                raise FutureError(
+                    "future has no executor to drive; it can never become ready"
+                )
+            self._executor.run_until(self.is_ready)
+        if self._state is _State.FAILED:
+            assert self._error is not None
+            raise self._error
+        return self._value
+
+    def _on_ready(self, cb: Callable[["Future"], None]) -> None:
+        """Internal: call ``cb(self)`` now if ready, else once satisfied."""
+        if self.is_ready():
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def then(self, fn: Callable[[Any], Any], name: str = "") -> "Future":
+        """Attach a continuation; returns the future of ``fn(value)``.
+
+        If this future fails, the continuation future fails with the same
+        exception without invoking ``fn``.
+        """
+        if self._executor is None:
+            raise FutureError("continuations require an executor-bound future")
+        executor = self._executor
+        out = Future(executor, name=name or f"{self.name}.then")
+
+        def ready(f: Future) -> None:
+            if f.has_exception():
+                out.set_exception(f._error)  # type: ignore[arg-type]
+                return
+
+            def run() -> None:
+                try:
+                    out.set_value(fn(f._value))
+                except BaseException as exc:  # noqa: BLE001 - forwarded to future
+                    out.set_exception(exc)
+
+            executor.post(run, name=out.name)
+
+        self._on_ready(ready)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or hex(id(self))
+        return f"<Future {label} {self._state.value}>"
+
+
+def make_ready_future(value: Any = None, executor: "TaskExecutor | None" = None) -> Future:
+    """A future that is already satisfied with ``value``."""
+    f = Future(executor, name="ready")
+    f.set_value(value)
+    return f
+
+
+def when_all(futures: Iterable[Future], executor: "TaskExecutor | None" = None) -> Future:
+    """A future of the list of all input values, ready when every input is.
+
+    The result preserves input order. If any input fails, the combined future
+    fails with the *first* (by input order) exception.
+    """
+    futs: Sequence[Future] = list(futures)
+    if executor is None:
+        for f in futs:
+            if f._executor is not None:
+                executor = f._executor
+                break
+    out = Future(executor, name="when_all")
+    if not futs:
+        out.set_value([])
+        return out
+    remaining = len(futs)
+
+    def one_ready(_: Future) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            for f in futs:
+                if f.has_exception():
+                    out.set_exception(f._error)  # type: ignore[arg-type]
+                    return
+            out.set_value([f._value for f in futs])
+
+    for f in futs:
+        f._on_ready(one_ready)
+    return out

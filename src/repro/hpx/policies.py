@@ -1,0 +1,65 @@
+"""Execution policies: ``seq``, ``par`` and ``par(task)``.
+
+Mirrors ``hpx::execution``: a policy bundles *where/how* a parallel algorithm
+runs (sequential vs parallel) with *whether it is synchronous* (``par``
+returns after a join; ``par(task)`` immediately returns a future), plus an
+optional chunker attached with ``.with_(...)`` — the paper writes this as
+``for_each(par.with(scs), ...)`` (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hpx.chunking import Chunker, GuessChunkSize
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """An immutable execution-policy value.
+
+    Attributes:
+        parallel: run chunks as executor tasks rather than inline.
+        task: asynchronous flavor — the algorithm returns a future instead of
+            joining (the ``par(task)`` of paper §III-A2).
+        chunker: how the iteration space is decomposed (None = executor-even
+            :class:`~repro.hpx.chunking.GuessChunkSize`).
+    """
+
+    parallel: bool
+    task: bool = False
+    chunker: Chunker | None = None
+    label: str = ""
+
+    def __call__(self, flavor: str = "task") -> "ExecutionPolicy":
+        """``par("task")`` / ``par(task)`` spelling for the async flavor."""
+        if flavor not in ("task",):
+            raise ValueError(f"unknown policy flavor {flavor!r}")
+        if not self.parallel:
+            raise ValueError("seq(task) is not a meaningful policy here")
+        return replace(self, task=True, label=f"{self.label}(task)")
+
+    def with_(self, chunker: Chunker) -> "ExecutionPolicy":
+        """Attach an explicit chunker (``par.with(static_chunk_size(n))``)."""
+        if not isinstance(chunker, Chunker):
+            raise TypeError(f"expected a Chunker, got {type(chunker).__name__}")
+        return replace(self, chunker=chunker)
+
+    def effective_chunker(self) -> Chunker:
+        return self.chunker if self.chunker is not None else GuessChunkSize()
+
+    def describe(self) -> str:
+        base = self.label or ("par" if self.parallel else "seq")
+        if self.chunker is not None:
+            return f"{base}.with({self.chunker.describe()})"
+        return base
+
+
+#: Sequential execution: the algorithm runs inline on the caller.
+seq = ExecutionPolicy(parallel=False, label="seq")
+
+#: Parallel synchronous execution: chunks run as tasks, caller joins.
+par = ExecutionPolicy(parallel=True, label="par")
+
+#: Parallel asynchronous execution: algorithm returns a future of completion.
+par_task = ExecutionPolicy(parallel=True, task=True, label="par(task)")

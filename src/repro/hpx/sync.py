@@ -1,0 +1,105 @@
+"""Cooperative synchronization primitives: latch, barrier, counting semaphore.
+
+These are the LCOs (local control objects) HPX builds its higher-level
+algorithms on. They cooperate with the executor: a ``wait`` drives pending
+tasks rather than blocking the OS thread, so producers can still run.
+"""
+
+from __future__ import annotations
+
+from repro.hpx.runtime import get_runtime
+from repro.util.validate import ReproError, check_positive
+
+
+class SyncError(ReproError):
+    """Misuse of a synchronization primitive."""
+
+
+class Latch:
+    """Single-use countdown latch: ``wait`` returns once count hits zero."""
+
+    def __init__(self, count: int) -> None:
+        check_positive("latch count", count, strict=False)
+        self._count = int(count)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        check_positive("count_down", n)
+        if n > self._count:
+            raise SyncError(f"latch over-released: {n} > {self._count}")
+        self._count -= n
+
+    def is_ready(self) -> bool:
+        return self._count == 0
+
+    def wait(self) -> None:
+        get_runtime().executor.run_until(self.is_ready)
+
+    def arrive_and_wait(self) -> None:
+        self.count_down()
+        self.wait()
+
+
+class Barrier:
+    """Reusable rendezvous for a fixed number of cooperating tasks.
+
+    Cooperative flavor: arrivals are explicit (:meth:`arrive`); a waiter
+    drives the executor until the current generation completes.
+    """
+
+    def __init__(self, parties: int) -> None:
+        check_positive("barrier parties", parties)
+        self.parties = int(parties)
+        self._arrived = 0
+        self._generation = 0
+
+    def arrive(self) -> int:
+        """Register one arrival; returns the generation being completed."""
+        self._arrived += 1
+        gen = self._generation
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._generation += 1
+        elif self._arrived > self.parties:
+            raise SyncError("more arrivals than barrier parties")
+        return gen
+
+    def wait(self, generation: int) -> None:
+        """Drive the executor until ``generation`` has fully completed."""
+        get_runtime().executor.run_until(lambda: self._generation > generation)
+
+    def arrive_and_wait(self) -> None:
+        gen = self.arrive()
+        if self._generation <= gen:
+            self.wait(gen)
+
+
+class CountingSemaphore:
+    """Counting semaphore with cooperative acquire."""
+
+    def __init__(self, initial: int = 0) -> None:
+        check_positive("semaphore initial", initial, strict=False)
+        self._value = int(initial)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def release(self, n: int = 1) -> None:
+        check_positive("release", n)
+        self._value += n
+
+    def try_acquire(self, n: int = 1) -> bool:
+        check_positive("acquire", n)
+        if self._value >= n:
+            self._value -= n
+            return True
+        return False
+
+    def acquire(self, n: int = 1) -> None:
+        check_positive("acquire", n)
+        get_runtime().executor.run_until(lambda: self._value >= n)
+        self._value -= n

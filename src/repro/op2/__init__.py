@@ -1,0 +1,62 @@
+"""OP2: an active library for unstructured-grid computations.
+
+Reimplements the OP2 abstraction the paper builds on (§II-A):
+
+- **sets** (:class:`OpSet`) — nodes, edges, cells, ...;
+- **data on sets** (:class:`OpDat`, :class:`OpGlobal`) — solution vectors,
+  coordinates, residuals, global reductions;
+- **mappings between sets** (:class:`OpMap`) — e.g. edges -> 2 cells;
+- **computation over sets** (:func:`op_par_loop`) — a kernel applied to every
+  element, with declared per-argument access modes (``OP_READ``, ``OP_WRITE``,
+  ``OP_RW``, ``OP_INC``) and direct (``OP_ID``) or indirect (via a map)
+  addressing.
+
+Loops over a set whose arguments all use ``OP_ID`` are *direct*; loops with
+map-addressed arguments are *indirect* and require an execution plan
+(:mod:`~repro.op2.plan`) that blocks the iteration set and colors blocks so
+no two concurrently-executed blocks increment the same indirect element.
+"""
+
+from repro.op2.access import Access, OP_READ, OP_WRITE, OP_RW, OP_INC, OP_MIN, OP_MAX
+from repro.op2.set_ import OpSet
+from repro.op2.map_ import OpMap, OP_ID
+from repro.op2.dat import OpDat, OpGlobal
+from repro.op2.args import Arg, op_arg_dat, op_arg_gbl
+from repro.op2.kernel import Kernel, KernelCost
+from repro.op2.exceptions import Op2Error, PlanError
+from repro.op2.plan import Plan, build_plan
+from repro.op2.parloop import ParLoop, op_par_loop
+from repro.op2.runtime import Op2Runtime, LoopRecord, SyncRecord, get_op2_runtime, op2_session
+from repro.op2.deps import DatDependencyTracker
+
+__all__ = [
+    "Access",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_RW",
+    "OP_INC",
+    "OP_MIN",
+    "OP_MAX",
+    "OP_ID",
+    "OpSet",
+    "OpMap",
+    "OpDat",
+    "OpGlobal",
+    "Arg",
+    "op_arg_dat",
+    "op_arg_gbl",
+    "Kernel",
+    "KernelCost",
+    "Op2Error",
+    "PlanError",
+    "Plan",
+    "build_plan",
+    "ParLoop",
+    "op_par_loop",
+    "Op2Runtime",
+    "LoopRecord",
+    "SyncRecord",
+    "get_op2_runtime",
+    "op2_session",
+    "DatDependencyTracker",
+]

@@ -1,0 +1,44 @@
+"""Access descriptors: how a kernel touches each argument.
+
+Mirrors OP2's ``op_access`` enum. The mode drives both correctness machinery
+(gather/scatter strategy, reduction combination, plan coloring) and the
+dependence analysis that async/dataflow execution is built on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Access(enum.Enum):
+    """Declared access mode of one ``op_par_loop`` argument."""
+
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+    INC = "inc"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def reads(self) -> bool:
+        """Kernel observes the previous value."""
+        return self in (Access.READ, Access.RW, Access.MIN, Access.MAX)
+
+    @property
+    def writes(self) -> bool:
+        """Kernel modifies the value (including accumulation)."""
+        return self is not Access.READ
+
+    @property
+    def is_reduction(self) -> bool:
+        """Contributions combine associatively (order-insensitive)."""
+        return self in (Access.INC, Access.MIN, Access.MAX)
+
+
+OP_READ = Access.READ
+OP_WRITE = Access.WRITE
+OP_RW = Access.RW
+OP_INC = Access.INC
+OP_MIN = Access.MIN
+OP_MAX = Access.MAX

@@ -1,0 +1,94 @@
+"""Argument descriptors: ``op_arg_dat`` / ``op_arg_gbl``.
+
+An :class:`Arg` states *which* data a loop touches and *how* — directly
+(``map_ is OP_ID``) or through a map column, with a declared access mode.
+This is the information OP2 exploits for planning, and the paper's dataflow
+variant exploits for automatic dependence construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.op2.access import Access
+from repro.op2.dat import OpDat, OpGlobal
+from repro.op2.exceptions import AccessError, Op2Error
+from repro.op2.map_ import OpMap
+
+
+@dataclass(frozen=True)
+class Arg:
+    """One argument slot of an ``op_par_loop``."""
+
+    dat: OpDat | OpGlobal
+    idx: int
+    map_: OpMap | None
+    access: Access
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_global(self) -> bool:
+        return isinstance(self.dat, OpGlobal)
+
+    @property
+    def is_direct(self) -> bool:
+        """Addressed by the iteration index itself (OP_ID)."""
+        return self.map_ is None and not self.is_global
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.map_ is not None
+
+    def describe(self) -> str:
+        how = "gbl" if self.is_global else (
+            "direct" if self.is_direct else f"via {self.map_.name}[{self.idx}]"
+        )
+        return f"{self.dat.name}({how}, {self.access.value})"
+
+
+def op_arg_dat(
+    dat: OpDat, idx: int, map_: OpMap | None, access: Access
+) -> Arg:
+    """Create a dat argument, validating map/index consistency.
+
+    Matches the paper's ``op_arg_dat(p_x, 0, pcell, 2, "double", OP_READ)``
+    with dim and typename inferred from the dat itself.
+    """
+    if not isinstance(dat, OpDat):
+        raise Op2Error(f"op_arg_dat expects an OpDat, got {type(dat).__name__}")
+    if not isinstance(access, Access):
+        raise AccessError(f"access must be an Access, got {access!r}")
+    if map_ is None:
+        if idx != -1:
+            raise Op2Error(
+                f"direct arg for dat {dat.name!r} must use idx=-1, got {idx}"
+            )
+    else:
+        if not isinstance(map_, OpMap):
+            raise Op2Error(f"map_ must be an OpMap or OP_ID, got {map_!r}")
+        if not 0 <= idx < map_.arity:
+            raise Op2Error(
+                f"map index {idx} out of range for {map_.name!r} "
+                f"(arity {map_.arity})"
+            )
+        if map_.to_set != dat.set:
+            raise Op2Error(
+                f"map {map_.name!r} targets set {map_.to_set.name!r} but dat "
+                f"{dat.name!r} lives on {dat.set.name!r}"
+            )
+    return Arg(dat=dat, idx=idx, map_=map_, access=access)
+
+
+def op_arg_gbl(gbl: OpGlobal, access: Access) -> Arg:
+    """Create a global argument (read-only constant or reduction target)."""
+    if not isinstance(gbl, OpGlobal):
+        raise Op2Error(f"op_arg_gbl expects an OpGlobal, got {type(gbl).__name__}")
+    if not isinstance(access, Access):
+        raise AccessError(f"access must be an Access, got {access!r}")
+    if access in (Access.WRITE, Access.RW):
+        raise AccessError(
+            f"global {gbl.name!r}: plain WRITE/RW on globals is racy; use a "
+            f"reduction access (INC/MIN/MAX) or READ"
+        )
+    return Arg(dat=gbl, idx=-1, map_=None, access=access)

@@ -1,0 +1,115 @@
+"""Data on sets (``op_dat``) and global values (``op_gbl``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.op2.exceptions import Op2Error
+from repro.op2.set_ import OpSet
+
+
+class OpDat:
+    """A dense array of ``dim`` values per element of a set.
+
+    Backed by a contiguous ``(set.size, dim)`` numpy array. ``version``
+    counts completed writes; the dataflow backend uses it to name dat
+    versions (the ``data[t]`` / ``data[t-1]`` of paper Fig 14) and tests use
+    it to assert which loops touched what.
+    """
+
+    __slots__ = ("name", "set", "dim", "data", "version")
+
+    def __init__(
+        self,
+        name: str,
+        set_: OpSet,
+        dim: int,
+        data: np.ndarray | None = None,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        if not name:
+            raise Op2Error("dat name must be non-empty")
+        if dim < 1:
+            raise Op2Error(f"dat {name!r} dim must be >= 1, got {dim}")
+        shape = (set_.size, dim)
+        if data is None:
+            data = np.zeros(shape, dtype=dtype)
+        else:
+            data = np.ascontiguousarray(data, dtype=dtype)
+            if data.shape == (set_.size,) and dim == 1:
+                data = data.reshape(shape)
+            if data.shape != shape:
+                raise Op2Error(
+                    f"dat {name!r} data shape {data.shape} != {shape}"
+                )
+        self.name = name
+        self.set = set_
+        self.dim = int(dim)
+        self.data = data
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Record one completed writing loop; returns the new version."""
+        self.version += 1
+        return self.version
+
+    def copy_data(self) -> np.ndarray:
+        """Snapshot of the current values (for validation/rollback)."""
+        return self.data.copy()
+
+    def norm(self) -> float:
+        """Frobenius norm; convenient convergence/diff metric in tests."""
+        return float(np.sqrt(np.sum(self.data.astype(np.float64) ** 2)))
+
+    def __repr__(self) -> str:
+        return f"OpDat({self.name!r}, set={self.set.name}, dim={self.dim})"
+
+
+class OpGlobal:
+    """A global value read by all elements or reduced into by a loop."""
+
+    __slots__ = ("name", "dim", "data")
+
+    def __init__(
+        self,
+        name: str,
+        dim: int,
+        data: np.ndarray | float | None = None,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        if not name:
+            raise Op2Error("global name must be non-empty")
+        if dim < 1:
+            raise Op2Error(f"global {name!r} dim must be >= 1, got {dim}")
+        if data is None:
+            arr = np.zeros(dim, dtype=dtype)
+        else:
+            arr = np.atleast_1d(np.asarray(data, dtype=dtype)).copy()
+            if arr.shape != (dim,):
+                raise Op2Error(
+                    f"global {name!r} data shape {arr.shape} != ({dim},)"
+                )
+        self.name = name
+        self.dim = int(dim)
+        self.data = arr
+
+    def value(self) -> float | np.ndarray:
+        """Scalar for dim-1 globals, array otherwise."""
+        return float(self.data[0]) if self.dim == 1 else self.data.copy()
+
+    def reset(self, fill: float = 0.0) -> None:
+        self.data[:] = fill
+
+    def __repr__(self) -> str:
+        return f"OpGlobal({self.name!r}, dim={self.dim}, data={self.data!r})"
+
+
+def op_decl_dat(
+    set_: OpSet,
+    dim: int,
+    data: np.ndarray | None,
+    name: str,
+    dtype: np.dtype | type = np.float64,
+) -> OpDat:
+    """OP2-style declaration spelling."""
+    return OpDat(name, set_, dim, data, dtype)

@@ -1,0 +1,23 @@
+"""OP2 exception hierarchy."""
+
+from repro.util.validate import ReproError
+
+
+class Op2Error(ReproError):
+    """Base class for OP2 API misuse and internal inconsistencies."""
+
+
+class MapBoundsError(Op2Error):
+    """A map entry points outside its target set."""
+
+
+class AccessError(Op2Error):
+    """Illegal access-mode combination for an argument."""
+
+
+class PlanError(Op2Error):
+    """Execution-plan construction failed (bad blocking or coloring)."""
+
+
+class KernelSignatureError(Op2Error):
+    """Kernel arity does not match the op_par_loop argument list."""

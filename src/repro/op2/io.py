@@ -1,0 +1,149 @@
+"""Mesh and dat I/O: save/load an OP2 problem as a portable .npz archive.
+
+OP2 applications read their grids from files (the Airfoil demo reads
+``new_grid.dat``; OP2 proper has an HDF5 layer with ``op_decl_*_hdf5``).
+This module provides the equivalent for this reproduction: a self-describing
+single-file archive of sets, maps and dats, so meshes can be generated once
+and shared between runs, examples and external tools.
+
+Archive layout (all numpy arrays):
+
+- ``__sets__``            — structured array of (name, size);
+- ``map:<name>``          — the map values, plus ``map:<name>:meta`` holding
+  ``[from_set, to_set]`` as strings;
+- ``dat:<name>``          — the data array, plus ``dat:<name>:meta`` holding
+  ``[set_name]``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from repro.op2.dat import OpDat
+from repro.op2.exceptions import Op2Error
+from repro.op2.map_ import OpMap
+from repro.op2.set_ import OpSet
+
+
+def save_problem(
+    path: str | Path | _io.BytesIO,
+    sets: list[OpSet],
+    maps: list[OpMap],
+    dats: list[OpDat],
+) -> None:
+    """Write sets/maps/dats to ``path`` as a compressed .npz archive."""
+    names = [s.name for s in sets]
+    if len(set(names)) != len(names):
+        raise Op2Error(f"duplicate set names: {names}")
+    payload: dict[str, np.ndarray] = {
+        "__sets__": np.array(
+            [(s.name, s.size) for s in sets], dtype=[("name", "U64"), ("size", "i8")]
+        )
+    }
+    known = set(names)
+    for m in maps:
+        if m.from_set.name not in known or m.to_set.name not in known:
+            raise Op2Error(
+                f"map {m.name!r} references sets not being saved "
+                f"({m.from_set.name!r} -> {m.to_set.name!r})"
+            )
+        payload[f"map:{m.name}"] = m.values
+        payload[f"map:{m.name}:meta"] = np.array(
+            [m.from_set.name, m.to_set.name], dtype="U64"
+        )
+    for d in dats:
+        if d.set.name not in known:
+            raise Op2Error(f"dat {d.name!r} lives on unsaved set {d.set.name!r}")
+        payload[f"dat:{d.name}"] = d.data
+        payload[f"dat:{d.name}:meta"] = np.array([d.set.name], dtype="U64")
+    np.savez_compressed(path, **payload)
+
+
+def load_problem(
+    path: str | Path | _io.BytesIO,
+) -> tuple[dict[str, OpSet], dict[str, OpMap], dict[str, OpDat]]:
+    """Load an archive written by :func:`save_problem`.
+
+    Returns (sets, maps, dats) dictionaries keyed by name, fully
+    reconstructed and re-validated (map bounds are checked on load).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "__sets__" not in archive:
+            raise Op2Error(f"{path!r} is not an OP2 problem archive")
+        sets: dict[str, OpSet] = {
+            str(row["name"]): OpSet(str(row["name"]), int(row["size"]))
+            for row in archive["__sets__"]
+        }
+        maps: dict[str, OpMap] = {}
+        dats: dict[str, OpDat] = {}
+        for key in archive.files:
+            if key.startswith("map:") and not key.endswith(":meta"):
+                name = key[len("map:") :]
+                from_name, to_name = archive[f"{key}:meta"]
+                values = archive[key]
+                maps[name] = OpMap(
+                    name,
+                    sets[str(from_name)],
+                    sets[str(to_name)],
+                    values.shape[1],
+                    values,
+                )
+            elif key.startswith("dat:") and not key.endswith(":meta"):
+                name = key[len("dat:") :]
+                (set_name,) = archive[f"{key}:meta"]
+                data = archive[key]
+                dats[name] = OpDat(
+                    name,
+                    sets[str(set_name)],
+                    data.shape[1],
+                    data,
+                    dtype=data.dtype,
+                )
+    return sets, maps, dats
+
+
+def save_mesh(path: str | Path | _io.BytesIO, mesh) -> None:
+    """Save a generated :class:`~repro.airfoil.meshgen.AirfoilMesh`."""
+    save_problem(
+        path,
+        sets=[mesh.nodes, mesh.edges, mesh.bedges, mesh.cells],
+        maps=[mesh.pedge, mesh.pecell, mesh.pbedge, mesh.pbecell, mesh.pcell],
+        dats=[mesh.x, mesh.bound],
+    )
+
+
+def load_mesh(path: str | Path | _io.BytesIO):
+    """Load an Airfoil mesh archive back into an ``AirfoilMesh``.
+
+    The ``ni``/``nj`` template parameters are not stored; they are recovered
+    from the set sizes (nodes = ni*(nj+1), cells = ni*nj).
+    """
+    from repro.airfoil.meshgen import AirfoilMesh
+
+    sets, maps, dats = load_problem(path)
+    for required in ("nodes", "edges", "bedges", "cells"):
+        if required not in sets:
+            raise Op2Error(f"archive is missing the {required!r} set")
+    ncells = sets["cells"].size
+    nnodes = sets["nodes"].size
+    ni = sets["bedges"].size // 2
+    if ni <= 0 or ncells % ni or nnodes != ncells + ni:
+        raise Op2Error("archive set sizes do not describe an O-mesh")
+    return AirfoilMesh(
+        ni=ni,
+        nj=ncells // ni,
+        nodes=sets["nodes"],
+        edges=sets["edges"],
+        bedges=sets["bedges"],
+        cells=sets["cells"],
+        pedge=maps["pedge"],
+        pecell=maps["pecell"],
+        pbedge=maps["pbedge"],
+        pbecell=maps["pbecell"],
+        pcell=maps["pcell"],
+        x=dats["x"],
+        bound=dats["bound"],
+    )

@@ -1,0 +1,90 @@
+"""Kernels: the per-element computations applied by ``op_par_loop``.
+
+A :class:`Kernel` bundles:
+
+- ``elemental`` — a plain Python function operating on one element's argument
+  views (the reference semantics; slow, used for validation);
+- ``vectorized`` — an optional numpy implementation operating on gathered
+  ``(n, dim)`` batches in place (the fast path every backend uses);
+- ``cost`` — the per-element cost model feeding the machine simulator.
+
+Both callables receive one positional argument per ``op_par_loop`` argument,
+in order. The runtime gathers/scatters around them (see
+:mod:`repro.backends.base`), so kernels never see maps or indices.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.op2.exceptions import KernelSignatureError
+from repro.util.validate import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-element cost model for the simulator.
+
+    Attributes:
+        unit_cost: abstract microseconds of sequential work per element.
+        mem_fraction: share of that time bound by memory bandwidth, in [0,1].
+    """
+
+    unit_cost: float = 0.2
+    mem_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("unit_cost", self.unit_cost)
+        check_in_range("mem_fraction", self.mem_fraction, 0.0, 1.0)
+
+
+class Kernel:
+    """A named elemental computation with optional vectorized fast path."""
+
+    def __init__(
+        self,
+        name: str,
+        elemental: Callable[..., None],
+        vectorized: Callable[..., None] | None = None,
+        cost: KernelCost | None = None,
+    ) -> None:
+        if not name:
+            raise KernelSignatureError("kernel name must be non-empty")
+        self.name = name
+        self.elemental = elemental
+        self.vectorized = vectorized
+        self.cost = cost if cost is not None else KernelCost()
+        self._arity = self._infer_arity(elemental)
+
+    @staticmethod
+    def _infer_arity(fn: Callable[..., None]) -> int | None:
+        """Positional parameter count, or None for ``*args`` kernels."""
+        try:
+            sig = inspect.signature(fn)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return None
+        count = 0
+        for p in sig.parameters.values():
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD):
+                count += 1
+            elif p.kind is p.VAR_POSITIONAL:
+                return None
+        return count
+
+    def check_arity(self, nargs: int) -> None:
+        """Raise unless the kernel accepts ``nargs`` positional arguments."""
+        if self._arity is not None and self._arity != nargs:
+            raise KernelSignatureError(
+                f"kernel {self.name!r} takes {self._arity} argument(s), "
+                f"op_par_loop supplied {nargs}"
+            )
+
+    @property
+    def has_vectorized(self) -> bool:
+        return self.vectorized is not None
+
+    def __repr__(self) -> str:
+        vec = "+vec" if self.has_vectorized else ""
+        return f"Kernel({self.name!r}{vec})"

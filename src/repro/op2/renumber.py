@@ -1,0 +1,128 @@
+"""Mesh renumbering for locality: reverse Cuthill–McKee over the dual graph.
+
+OP2 renumbers mesh elements so that elements referencing each other sit close
+in memory (Giles et al. discuss GPS/RCM renumbering for the plans' staging
+efficiency). Here renumbering has a second payoff: contiguous blocks of a
+well-numbered set touch fewer foreign blocks, so the dataflow backend's
+block-level dependence refinement gets sparser and plans need fewer colors.
+
+The central routine, :func:`rcm_order`, is a plain BFS-based reverse
+Cuthill–McKee on a CSR adjacency; helpers build the cell dual graph from an
+edge->cell map and apply a permutation consistently to sets, maps and dats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.op2.exceptions import Op2Error
+
+
+def dual_graph_csr(
+    pecell: np.ndarray, ncells: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency of the cell dual graph (cells adjacent via an edge)."""
+    pecell = np.asarray(pecell, dtype=np.int64)
+    if pecell.ndim != 2 or pecell.shape[1] != 2:
+        raise Op2Error("pecell must be an (nedges, 2) array")
+    src = np.concatenate([pecell[:, 0], pecell[:, 1]])
+    dst = np.concatenate([pecell[:, 1], pecell[:, 0]])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=ncells)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return indptr, dst
+
+
+def rcm_order(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Reverse Cuthill–McKee ordering of a CSR graph.
+
+    Returns a permutation ``perm`` where ``perm[new] = old``. Disconnected
+    components are processed in order of their minimum-degree seed.
+    """
+    n = len(indptr) - 1
+    degree = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    # Seed order: ascending degree (classic pseudo-peripheral heuristic).
+    seeds = np.argsort(degree, kind="stable")
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = [int(seed)]
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            neighbours = indices[indptr[v] : indptr[v + 1]]
+            fresh = [int(u) for u in neighbours if not visited[u]]
+            fresh.sort(key=lambda u: int(degree[u]))
+            for u in fresh:
+                visited[u] = True
+            queue.extend(fresh)
+    if len(order) != n:  # pragma: no cover - BFS covers every vertex
+        raise Op2Error("renumbering did not visit every vertex")
+    return np.array(order[::-1], dtype=np.int64)
+
+
+def bandwidth(indptr: np.ndarray, indices: np.ndarray, perm: np.ndarray | None = None) -> int:
+    """Graph bandwidth under a permutation (``perm[new] = old``)."""
+    n = len(indptr) - 1
+    if perm is None:
+        position = np.arange(n, dtype=np.int64)
+    else:
+        position = np.empty(n, dtype=np.int64)
+        position[perm] = np.arange(n, dtype=np.int64)
+    worst = 0
+    for v in range(n):
+        neighbours = indices[indptr[v] : indptr[v + 1]]
+        if len(neighbours):
+            worst = max(worst, int(np.max(np.abs(position[neighbours] - position[v]))))
+    return worst
+
+
+def renumber_mesh(mesh):
+    """Return a copy of an Airfoil mesh with RCM-renumbered cells.
+
+    Cells are permuted; edges are re-sorted so that edge order follows the
+    new cell numbering of their first endpoint (keeping edge-block locality
+    aligned with cell-block locality). Node numbering is untouched.
+    """
+    from repro.airfoil.meshgen import AirfoilMesh
+    from repro.op2 import OpDat, OpMap, OpSet
+
+    ncells = mesh.cells.size
+    indptr, indices = dual_graph_csr(mesh.pecell.values, ncells)
+    perm = rcm_order(indptr, indices)  # perm[new] = old
+    inverse = np.empty(ncells, dtype=np.int64)
+    inverse[perm] = np.arange(ncells, dtype=np.int64)
+
+    # Renumber cell-valued maps.
+    pecell_new = inverse[mesh.pecell.values]
+    pbecell_new = inverse[mesh.pbecell.values]
+    pcell_new = mesh.pcell.values[perm]
+
+    # Re-sort edges by (new) first cell for cache-coherent edge blocks.
+    edge_order = np.argsort(pecell_new[:, 0], kind="stable")
+    pecell_new = pecell_new[edge_order]
+    pedge_new = mesh.pedge.values[edge_order]
+
+    cells = OpSet("cells", ncells)
+    edges = OpSet("edges", mesh.edges.size)
+    bedges = OpSet("bedges", mesh.bedges.size)
+    nodes = OpSet("nodes", mesh.nodes.size)
+    return AirfoilMesh(
+        ni=mesh.ni,
+        nj=mesh.nj,
+        nodes=nodes,
+        edges=edges,
+        bedges=bedges,
+        cells=cells,
+        pedge=OpMap("pedge", edges, nodes, 2, pedge_new),
+        pecell=OpMap("pecell", edges, cells, 2, pecell_new),
+        pbedge=OpMap("pbedge", bedges, nodes, 2, mesh.pbedge.values.copy()),
+        pbecell=OpMap("pbecell", bedges, cells, 1, pbecell_new),
+        pcell=OpMap("pcell", cells, nodes, 4, pcell_new),
+        x=OpDat("x", nodes, 2, mesh.x.data.copy()),
+        bound=OpDat("bound", bedges, 1, mesh.bound.data.copy(), dtype=np.int64),
+    )

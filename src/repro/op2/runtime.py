@@ -1,0 +1,186 @@
+"""The OP2 runtime session: backend dispatch, plan cache, loop log.
+
+An :class:`Op2Runtime` is one configured execution context: which backend
+(openmp / hpx flavor), how many threads, what block size. It owns
+
+- the plan cache (plans are reused across loops and timesteps);
+- the HPX runtime for the async/dataflow backends;
+- the **loop log**: the sequence of executed loops and synchronization
+  points, which the task-graph emitters replay onto the machine simulator.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.hpx.future import Future
+from repro.hpx.runtime import HPXRuntime, set_runtime
+from repro.op2.exceptions import Op2Error
+from repro.op2.parloop import ParLoop
+from repro.op2.plan import DEFAULT_BLOCK_SIZE, Plan, PlanCache
+from repro.util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """One executed op_par_loop, in program order."""
+
+    loop_id: int
+    loop: ParLoop
+    plan: Plan
+
+
+@dataclass(frozen=True)
+class SyncRecord:
+    """An explicit synchronization point (``future.get()`` calls, Fig 10)."""
+
+    loop_ids: tuple[int, ...]
+
+
+@dataclass
+class LoopLog:
+    """Program-order record of loops and syncs for one run."""
+
+    entries: list[LoopRecord | SyncRecord] = field(default_factory=list)
+
+    def loops(self) -> list[LoopRecord]:
+        return [e for e in self.entries if isinstance(e, LoopRecord)]
+
+    def append(self, entry: LoopRecord | SyncRecord) -> None:
+        self.entries.append(entry)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class Op2Runtime:
+    """One OP2 execution session."""
+
+    def __init__(
+        self,
+        backend: str = "seq",
+        num_threads: int = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        granularity: str = "set",
+    ) -> None:
+        from repro.backends.registry import create_backend
+
+        check_positive("num_threads", num_threads)
+        check_positive("block_size", block_size)
+        if granularity not in ("set", "block"):
+            raise Op2Error(
+                f"granularity must be 'set' or 'block', got {granularity!r}"
+            )
+        self.backend_name = backend
+        self.backend = create_backend(backend)
+        self.num_threads = int(num_threads)
+        self.block_size = int(block_size)
+        self.granularity = granularity
+        self.hpx = HPXRuntime(self.num_threads)
+        self.plans = PlanCache()
+        self.log = LoopLog()
+        self._next_loop_id = 0
+        self._future_loop_ids: dict[int, int] = {}
+        self.backend.on_attach(self)
+
+    # -- loop execution -----------------------------------------------------
+
+    def par_loop(self, loop: ParLoop) -> Future | None:
+        """Record and dispatch one loop; returns the backend's result."""
+        plan = self.plans.get(loop.set_, list(loop.args), self.block_size)
+        loop_id = self._next_loop_id
+        self._next_loop_id += 1
+        self.log.append(LoopRecord(loop_id=loop_id, loop=loop, plan=plan))
+        result = self.backend.run_loop(self, loop, plan, loop_id)
+        if isinstance(result, Future):
+            self._future_loop_ids[id(result)] = loop_id
+        return result
+
+    def sync(self, *results: Future | None) -> None:
+        """``new_data.get()`` of the paper: wait for loop futures, log it."""
+        waited: list[int] = []
+        for r in results:
+            if r is None:
+                continue
+            if not isinstance(r, Future):
+                raise Op2Error(f"sync expects loop futures, got {r!r}")
+            r.get()
+            loop_id = self._future_loop_ids.get(id(r))
+            if loop_id is not None:
+                waited.append(loop_id)
+        if waited:
+            self.log.append(SyncRecord(loop_ids=tuple(waited)))
+
+    def finish(self) -> None:
+        """Complete all outstanding asynchronous work."""
+        self.backend.finalize(self)
+        self.hpx.executor.drain()
+
+    # -- session management -------------------------------------------------
+
+    def activate(self) -> "Op2Runtime | None":
+        """Install as the current OP2 + HPX runtime; returns the previous."""
+        previous = set_op2_runtime(self)
+        set_runtime(self.hpx)
+        return previous
+
+    def deactivate(self, previous: "Op2Runtime | None") -> None:
+        set_op2_runtime(previous)
+        set_runtime(previous.hpx if previous is not None else None)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Op2Runtime backend={self.backend_name} threads={self.num_threads} "
+            f"block={self.block_size}>"
+        )
+
+
+_current: Op2Runtime | None = None
+
+
+def get_op2_runtime() -> Op2Runtime:
+    """The active session; loops outside a session run on a default seq one."""
+    global _current
+    if _current is None:
+        _current = Op2Runtime()
+        set_runtime(_current.hpx)
+    return _current
+
+
+def set_op2_runtime(rt: Op2Runtime | None) -> Op2Runtime | None:
+    global _current
+    previous = _current
+    _current = rt
+    return previous
+
+
+@contextmanager
+def op2_session(
+    backend: str = "seq",
+    num_threads: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    granularity: str = "set",
+) -> Iterator[Op2Runtime]:
+    """Scoped OP2 session: installs the runtime, finishes and restores on exit.
+
+    >>> from repro.op2 import op2_session
+    >>> with op2_session(backend="openmp", num_threads=4) as rt:
+    ...     pass  # run op_par_loop(...) calls here
+    """
+    rt = Op2Runtime(
+        backend=backend,
+        num_threads=num_threads,
+        block_size=block_size,
+        granularity=granularity,
+    )
+    previous = rt.activate()
+    try:
+        yield rt
+        rt.finish()
+    finally:
+        rt.deactivate(previous)

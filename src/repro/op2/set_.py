@@ -1,0 +1,44 @@
+"""Sets: the iteration domains of unstructured-grid algorithms."""
+
+from __future__ import annotations
+
+from repro.op2.exceptions import Op2Error
+
+
+class OpSet:
+    """A named collection of mesh elements (nodes, edges, cells, ...).
+
+    Sets carry no data themselves; :class:`~repro.op2.dat.OpDat` attaches data
+    and :class:`~repro.op2.map_.OpMap` attaches connectivity.
+    """
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int) -> None:
+        if not name:
+            raise Op2Error("set name must be non-empty")
+        if size < 0:
+            raise Op2Error(f"set {name!r} size must be >= 0, got {size}")
+        self.name = name
+        self.size = int(size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, OpSet)
+            and other.name == self.name
+            and other.size == self.size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.size))
+
+    def __repr__(self) -> str:
+        return f"OpSet({self.name!r}, size={self.size})"
+
+
+def op_decl_set(size: int, name: str) -> OpSet:
+    """OP2-style declaration spelling (``op_decl_set`` in the C API)."""
+    return OpSet(name, size)

@@ -1,0 +1,119 @@
+"""Schedule analysis: where did the time go?
+
+Post-mortem tools over a simulated run:
+
+- :func:`critical_path_tasks` — one longest cost-weighted chain through the
+  task graph (the scalability ceiling);
+- :func:`critical_loop_shares` — that chain's cost attributed to loops: the
+  loops that bound the makespan no matter how many threads are added;
+- :func:`idle_gaps` — per-thread gaps in the trace, largest first: where a
+  schedule starves;
+- :func:`bottleneck_report` — a one-string summary combining the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+from repro.sim.task import TaskGraph
+from repro.sim.trace import Trace
+
+
+def critical_path_tasks(graph: TaskGraph) -> list[int]:
+    """Task ids of one longest cost-weighted dependency chain, in order."""
+    n = len(graph.tasks)
+    if n == 0:
+        return []
+    finish = [0.0] * n
+    best_pred = [-1] * n
+    for t in graph.tasks:
+        start = 0.0
+        pred = -1
+        for d in t.deps:
+            if finish[d] > start:
+                start = finish[d]
+                pred = d
+        finish[t.tid] = start + t.cost
+        best_pred[t.tid] = pred
+    tail = max(range(n), key=lambda i: finish[i])
+    chain = []
+    while tail != -1:
+        chain.append(tail)
+        tail = best_pred[tail]
+    return chain[::-1]
+
+
+def critical_loop_shares(graph: TaskGraph) -> dict[str, float]:
+    """Critical-path cost per loop label, as fractions of the path length."""
+    chain = critical_path_tasks(graph)
+    total = sum(graph.tasks[t].cost for t in chain)
+    if total == 0.0:
+        return {}
+    shares: dict[str, float] = {}
+    for tid in chain:
+        task = graph.tasks[tid]
+        label = task.loop or task.kind
+        shares[label] = shares.get(label, 0.0) + task.cost / total
+    return dict(sorted(shares.items(), key=lambda kv: -kv[1]))
+
+
+@dataclass(frozen=True)
+class IdleGap:
+    """A span where a thread had nothing to run."""
+
+    thread: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def idle_gaps(trace: Trace, min_duration: float = 0.0) -> list[IdleGap]:
+    """Per-thread idle intervals within [0, makespan], largest first."""
+    span = trace.makespan
+    per_thread: dict[int, list[tuple[float, float]]] = {
+        t: [] for t in range(trace.num_threads)
+    }
+    for r in trace.records:
+        per_thread[r.thread].append((r.start, r.end))
+    gaps: list[IdleGap] = []
+    for thread, intervals in per_thread.items():
+        intervals.sort()
+        cursor = 0.0
+        for start, end in intervals:
+            if start - cursor > min_duration:
+                gaps.append(IdleGap(thread, cursor, start))
+            cursor = max(cursor, end)
+        if span - cursor > min_duration:
+            gaps.append(IdleGap(thread, cursor, span))
+    gaps.sort(key=lambda g: -g.duration)
+    return gaps
+
+
+def bottleneck_report(graph: TaskGraph, result: SimResult) -> str:
+    """Human-readable summary of what limits this schedule."""
+    lines = []
+    cp = graph.critical_path()
+    work = graph.total_work()
+    lines.append(
+        f"makespan {result.makespan:.1f} us on {result.num_threads} threads; "
+        f"work {work:.1f}, critical path {cp:.1f} "
+        f"(max useful parallelism {work / cp:.1f}x)" if cp else "empty graph"
+    )
+    util = result.trace.utilization() if result.trace.records else None
+    if util is not None:
+        lines.append(f"utilization {util:.1%}")
+    shares = critical_loop_shares(graph)
+    if shares:
+        top = ", ".join(f"{k} {v:.0%}" for k, v in list(shares.items())[:4])
+        lines.append(f"critical path by loop: {top}")
+    gaps = idle_gaps(result.trace)[:3] if result.trace.records else []
+    if gaps:
+        worst = ", ".join(
+            f"T{g.thread} [{g.start:.0f}..{g.end:.0f}]" for g in gaps
+        )
+        lines.append(f"largest idle gaps: {worst}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Barrier cost models.
+
+The cost of a global barrier is the central villain of the paper: OpenMP's
+``#pragma omp parallel for`` implies one after every loop. We model three
+standard implementations; the default (linear) matches centralized-counter
+barriers on 2-socket machines, and the ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.sim.machine import MachineConfig
+from repro.util.validate import ValidationError
+
+
+def _linear(config: MachineConfig, threads: int) -> float:
+    """Centralized counter: every thread updates one cache line in turn."""
+    return config.barrier_base + config.barrier_per_thread * threads
+
+
+def _log_tree(config: MachineConfig, threads: int) -> float:
+    """Combining tree: latency grows with tree depth."""
+    depth = math.ceil(math.log2(threads)) if threads > 1 else 0
+    return config.barrier_base + config.barrier_per_thread * 2.0 * depth
+
+
+def _flat(config: MachineConfig, threads: int) -> float:
+    """Idealized constant-latency barrier (hardware barrier)."""
+    return config.barrier_base
+
+
+BARRIER_MODELS: dict[str, Callable[[MachineConfig, int], float]] = {
+    "linear": _linear,
+    "logtree": _log_tree,
+    "flat": _flat,
+}
+
+
+def barrier_cost(config: MachineConfig, threads: int) -> float:
+    """Cost of one global barrier among ``threads`` threads."""
+    if threads < 1:
+        raise ValidationError(f"threads must be >= 1, got {threads}")
+    try:
+        model = BARRIER_MODELS[config.barrier_model]
+    except KeyError:
+        raise ValidationError(
+            f"unknown barrier model {config.barrier_model!r}; "
+            f"choose from {sorted(BARRIER_MODELS)}"
+        ) from None
+    return model(config, threads)
+
+
+def join_cost(config: MachineConfig, threads: int) -> float:
+    """Cost of a future join (``when_all`` + ``get``).
+
+    Cheaper than a barrier: only the consumer synchronizes; producers just
+    flip their future's state.
+    """
+    if threads < 1:
+        raise ValidationError(f"threads must be >= 1, got {threads}")
+    return config.join_base + config.join_per_thread * threads

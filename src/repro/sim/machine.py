@@ -1,0 +1,117 @@
+"""The machine model: cores, SMT, and scheduling overhead constants.
+
+The constants below parameterize *mechanisms* (barrier latency, task dispatch
+cost, hyperthread throughput, bandwidth saturation); the reproduced figures
+emerge from graph structure under these mechanisms, not from fitting each
+curve. ``paper_machine()`` models the paper's testbed: two Intel Xeon E5
+processors, 8 cores each at 2.4 GHz, hyperthreading enabled (16C/32T).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Immutable machine description, all times in abstract microseconds."""
+
+    #: Physical cores.
+    num_cores: int = 16
+    #: Hardware threads per core (2 = hyperthreading).
+    smt_ways: int = 2
+    #: Throughput of one hardware thread when its SMT sibling is also busy,
+    #: relative to owning the whole core (two busy siblings -> 2*eff total).
+    smt_efficiency: float = 0.62
+
+    #: Dispatch cost added to every scheduled task (queue pop, setup).
+    task_overhead: float = 0.35
+    #: Extra cost when a thread executes a task another thread spawned
+    #: (cold cache / steal); applied to non-affine tasks only.
+    steal_overhead: float = 0.15
+    #: Cost of entering a parallel region (OpenMP fork, HPX bulk spawn).
+    fork_overhead: float = 1.2
+    #: Per-chunk creation cost paid by the spawning thread, serialized
+    #: (HPX task allocation + queue push per chunk).
+    chunk_spawn_overhead: float = 0.30
+
+    #: Barrier cost model name (see :mod:`repro.sim.barriers`).
+    barrier_model: str = "linear"
+    #: Barrier base latency.
+    barrier_base: float = 1.0
+    #: Barrier per-thread latency coefficient.
+    barrier_per_thread: float = 1.5
+    #: Join (when_all + future.get) cost coefficients; futures join cheaper
+    #: than a full barrier because only the consumer waits.
+    join_base: float = 0.5
+    join_per_thread: float = 0.30
+
+    #: Number of concurrently running memory-bound threads the memory system
+    #: sustains at full speed; beyond this, memory-bound work slows down.
+    bandwidth_saturation: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValidationError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.smt_ways < 1:
+            raise ValidationError(f"smt_ways must be >= 1, got {self.smt_ways}")
+        if not 0.0 < self.smt_efficiency <= 1.0:
+            raise ValidationError(
+                f"smt_efficiency must be in (0,1], got {self.smt_efficiency}"
+            )
+        for attr in (
+            "task_overhead",
+            "steal_overhead",
+            "fork_overhead",
+            "chunk_spawn_overhead",
+            "barrier_base",
+            "barrier_per_thread",
+            "join_base",
+            "join_per_thread",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"{attr} must be >= 0")
+        if self.bandwidth_saturation <= 0:
+            raise ValidationError("bandwidth_saturation must be > 0")
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware threads available (cores x SMT ways)."""
+        return self.num_cores * self.smt_ways
+
+    def with_(self, **kwargs) -> "MachineConfig":
+        """Return a modified copy (ablation sweeps)."""
+        return replace(self, **kwargs)
+
+
+def paper_machine() -> MachineConfig:
+    """The paper's testbed: 2x Xeon E5 8C/2.4GHz, HT on (16C/32T)."""
+    return MachineConfig()
+
+
+def thread_speeds(config: MachineConfig, num_threads: int) -> list[float]:
+    """Static per-thread execution speed for a run with ``num_threads``.
+
+    Threads fill physical cores first; thread ``i >= num_cores`` shares core
+    ``i - num_cores`` (for 2-way SMT). Both siblings of a shared core run at
+    ``smt_efficiency``. This static approximation models the throughput knee
+    at ``num_cores`` threads visible in every figure of the paper.
+    """
+    if num_threads < 1:
+        raise ValidationError(f"num_threads must be >= 1, got {num_threads}")
+    if num_threads > config.max_threads:
+        raise ValidationError(
+            f"{num_threads} threads exceed machine capacity {config.max_threads}"
+        )
+    speeds = []
+    for i in range(num_threads):
+        core = i % config.num_cores
+        # Occupancy of this thread's core (how many of the run's threads
+        # landed on it).
+        occupancy = sum(
+            1 for j in range(num_threads) if j % config.num_cores == core
+        )
+        speeds.append(1.0 if occupancy == 1 else config.smt_efficiency)
+    return speeds

@@ -1,0 +1,151 @@
+"""Tasks and task graphs for the machine simulator.
+
+A :class:`SimTask` is a unit of sequential work with a cost (abstract
+microseconds) and dependencies. A :class:`TaskGraph` is the DAG the backends
+emit for one run; the engine schedules it onto the machine model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.util.validate import ReproError
+
+
+class TaskGraphError(ReproError):
+    """Structural problem in a task graph (cycle, unknown dependency, ...)."""
+
+
+@dataclass
+class SimTask:
+    """One schedulable unit of work.
+
+    Attributes:
+        tid: unique id within its graph (assigned by :meth:`TaskGraph.add`).
+        name: human-readable label (e.g. ``"adt_calc[3].blk7"``).
+        cost: sequential execution cost in abstract microseconds.
+        deps: ids of tasks that must complete first.
+        affinity: pin to a specific thread id (fork-join static scheduling);
+            ``None`` means any thread may run it (work stealing).
+        kind: classification used by metrics — ``"work"``, ``"barrier"``,
+            ``"spawn"``, ``"join"``, ``"prefix"``.
+        loop: label of the op_par_loop (or phase) this task belongs to.
+        mem_fraction: share of the task's time bound by memory bandwidth,
+            in [0, 1]; drives the contention model.
+    """
+
+    name: str
+    cost: float
+    deps: tuple[int, ...] = ()
+    affinity: int | None = None
+    kind: str = "work"
+    loop: str = ""
+    mem_fraction: float = 0.0
+    tid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise TaskGraphError(f"task {self.name!r} has negative cost {self.cost}")
+        if not 0.0 <= self.mem_fraction <= 1.0:
+            raise TaskGraphError(
+                f"task {self.name!r} mem_fraction {self.mem_fraction} not in [0,1]"
+            )
+
+
+@dataclass
+class TaskGraph:
+    """An append-only DAG of :class:`SimTask`.
+
+    Tasks must be added after their dependencies (ids are handed out in
+    insertion order), which makes cycles impossible by construction and keeps
+    validation cheap.
+    """
+
+    tasks: list[SimTask] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        cost: float,
+        deps: Iterable[int] = (),
+        *,
+        affinity: int | None = None,
+        kind: str = "work",
+        loop: str = "",
+        mem_fraction: float = 0.0,
+    ) -> int:
+        """Append a task; returns its id."""
+        dep_tuple = tuple(deps)
+        tid = len(self.tasks)
+        for d in dep_tuple:
+            if not 0 <= d < tid:
+                raise TaskGraphError(
+                    f"task {name!r} depends on {d}, which is not an earlier task"
+                )
+        task = SimTask(
+            name=name,
+            cost=float(cost),
+            deps=dep_tuple,
+            affinity=affinity,
+            kind=kind,
+            loop=loop,
+            mem_fraction=mem_fraction,
+            tid=tid,
+        )
+        self.tasks.append(task)
+        return tid
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    # -- analysis -----------------------------------------------------------
+
+    def total_work(self, kind: str | None = None) -> float:
+        """Sum of task costs (optionally restricted to one kind)."""
+        return sum(t.cost for t in self.tasks if kind is None or t.kind == kind)
+
+    def critical_path(self) -> float:
+        """Length of the longest cost-weighted dependency chain.
+
+        A lower bound on makespan at any thread count (ignoring overheads).
+        """
+        finish = [0.0] * len(self.tasks)
+        best = 0.0
+        for t in self.tasks:
+            start = max((finish[d] for d in t.deps), default=0.0)
+            finish[t.tid] = start + t.cost
+            if finish[t.tid] > best:
+                best = finish[t.tid]
+        return best
+
+    def successors(self) -> list[list[int]]:
+        """Adjacency: for each task, the ids that depend on it."""
+        succ: list[list[int]] = [[] for _ in self.tasks]
+        for t in self.tasks:
+            for d in t.deps:
+                succ[d].append(t.tid)
+        return succ
+
+    def roots(self) -> list[int]:
+        """Tasks with no dependencies."""
+        return [t.tid for t in self.tasks if not t.deps]
+
+    def validate(self) -> None:
+        """Check id/dep integrity (construction already prevents cycles)."""
+        for i, t in enumerate(self.tasks):
+            if t.tid != i:
+                raise TaskGraphError(f"task id mismatch at {i}: {t.tid}")
+            for d in t.deps:
+                if not 0 <= d < i:
+                    raise TaskGraphError(f"bad dep {d} on task {i}")
+
+    def by_kind(self) -> dict[str, int]:
+        """Task count per kind, for diagnostics."""
+        out: dict[str, int] = {}
+        for t in self.tasks:
+            out[t.kind] = out.get(t.kind, 0) + 1
+        return out

@@ -1,0 +1,85 @@
+"""Execution traces: who ran what when, and utilization analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One scheduled task instance."""
+
+    tid: int
+    name: str
+    kind: str
+    loop: str
+    thread: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Complete per-thread execution history of a simulation run."""
+
+    num_threads: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def add(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    def busy_time(self, thread: int | None = None) -> float:
+        """Total time spent executing tasks (optionally for one thread)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if thread is None or r.thread == thread
+        )
+
+    def utilization(self) -> float:
+        """Fraction of thread-time spent busy over the whole run."""
+        span = self.makespan
+        if span == 0.0:
+            return 1.0
+        return self.busy_time() / (span * self.num_threads)
+
+    def time_by_kind(self) -> dict[str, float]:
+        """Total busy time per task kind (work vs barrier vs spawn ...)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0.0) + r.duration
+        return out
+
+    def time_by_loop(self) -> dict[str, float]:
+        """Total busy time per op_par_loop label."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            if r.loop:
+                out[r.loop] = out.get(r.loop, 0.0) + r.duration
+        return out
+
+    def gantt(self, width: int = 78) -> str:
+        """Crude ASCII Gantt chart, one row per thread."""
+        span = self.makespan or 1.0
+        rows = []
+        glyphs = {"work": "#", "barrier": "B", "join": "J", "spawn": "s", "prefix": "p"}
+        for t in range(self.num_threads):
+            row = [" "] * width
+            for r in self.records:
+                if r.thread != t:
+                    continue
+                a = int(r.start / span * (width - 1))
+                b = max(a + 1, int(r.end / span * (width - 1)))
+                g = glyphs.get(r.kind, "#")
+                for i in range(a, min(b, width)):
+                    row[i] = g
+            rows.append(f"T{t:02d}|" + "".join(row))
+        return "\n".join(rows)

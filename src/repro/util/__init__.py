@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG, table rendering, timing, validation helpers."""
+
+from repro.util.rng import seeded_rng, derive_seed
+from repro.util.tables import Table, format_series, ascii_plot
+from repro.util.timing import WallTimer
+from repro.util.validate import (
+    check_positive,
+    check_in_range,
+    check_type,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = [
+    "seeded_rng",
+    "derive_seed",
+    "Table",
+    "format_series",
+    "ascii_plot",
+    "WallTimer",
+    "check_positive",
+    "check_in_range",
+    "check_type",
+    "ReproError",
+    "ValidationError",
+]

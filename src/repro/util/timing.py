@@ -1,0 +1,36 @@
+"""Small wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start point for incremental measurements."""
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction/:meth:`restart` without stopping."""
+        assert self._start is not None, "timer not started"
+        return time.perf_counter() - self._start

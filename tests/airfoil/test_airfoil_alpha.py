@@ -1,0 +1,65 @@
+"""Tests for angle-of-attack support."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import AirfoilApp, generate_mesh
+from repro.airfoil.constants import FlowConstants
+from repro.airfoil.metrics import compute_forces
+from repro.op2 import op2_session
+
+
+class TestFreestreamRotation:
+    def test_zero_alpha_is_x_aligned(self):
+        q = FlowConstants().freestream()
+        assert q[2] == 0.0
+
+    def test_alpha_rotates_velocity(self):
+        c = FlowConstants(alpha_deg=10.0)
+        q = c.freestream()
+        u, v = q[1] / q[0], q[2] / q[0]
+        assert v > 0
+        assert np.arctan2(v, u) == pytest.approx(np.radians(10.0))
+
+    def test_speed_preserved_under_rotation(self):
+        q0 = FlowConstants().freestream()
+        q10 = FlowConstants(alpha_deg=10.0).freestream()
+        s0 = np.hypot(q0[1], q0[2])
+        s10 = np.hypot(q10[1], q10[2])
+        assert s0 == pytest.approx(s10)
+
+    def test_energy_independent_of_alpha(self):
+        assert FlowConstants().freestream()[3] == pytest.approx(
+            FlowConstants(alpha_deg=7.0).freestream()[3]
+        )
+
+    def test_alpha_property_radians(self):
+        assert FlowConstants(alpha_deg=45.0).alpha == pytest.approx(np.pi / 4)
+
+
+class TestLiftAtIncidence:
+    def test_incidence_generates_lift(self):
+        """A symmetric airfoil at incidence develops positive lift; at zero
+        incidence it does not — the classic aerodynamic sanity check."""
+        mesh = generate_mesh(ni=48, nj=24)
+
+        def lift(alpha):
+            constants = FlowConstants(alpha_deg=alpha)
+            with op2_session(backend="seq", block_size=64) as rt:
+                app = AirfoilApp(mesh, constants)
+                app.run(rt, 40)
+                return compute_forces(app, rt).lift
+
+        l0 = lift(0.0)
+        l5 = lift(5.0)
+        assert abs(l0) < 1e-6
+        assert l5 > 10 * abs(l0)
+        assert l5 > 0.0
+
+    def test_solver_stable_at_incidence(self):
+        mesh = generate_mesh(ni=32, nj=16)
+        with op2_session(backend="seq", block_size=32) as rt:
+            app = AirfoilApp(mesh, FlowConstants(alpha_deg=5.0))
+            result = app.run(rt, 30)
+        assert np.isfinite(result.q_norm)
+        assert np.isfinite(result.rms_total)

@@ -1,0 +1,231 @@
+"""Elemental vs vectorized agreement for every Airfoil kernel."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil.constants import DEFAULT_CONSTANTS, FlowConstants
+from repro.airfoil.kernels import make_kernels
+from repro.airfoil.meshgen import FARFIELD, WALL
+from repro.util.rng import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return make_kernels(DEFAULT_CONSTANTS)
+
+
+def random_state(rng, n):
+    """A physically plausible random conservative state (positive rho, p)."""
+    q = np.empty((n, 4))
+    q[:, 0] = 0.5 + rng.random(n)  # rho in [0.5, 1.5]
+    q[:, 1] = rng.normal(0.3, 0.2, n)
+    q[:, 2] = rng.normal(0.0, 0.2, n)
+    kinetic = 0.5 * (q[:, 1] ** 2 + q[:, 2] ** 2) / q[:, 0]
+    q[:, 3] = kinetic + (0.5 + rng.random(n)) / 0.4  # positive pressure
+    return q
+
+
+class TestFlowConstants:
+    def test_gm1(self):
+        assert FlowConstants().gm1 == pytest.approx(0.4)
+
+    def test_freestream_realizes_mach(self):
+        c = FlowConstants(mach=0.4)
+        q = c.freestream()
+        u = q[1] / q[0]
+        sound = np.sqrt(c.gam * 1.0 / 1.0)
+        assert u / sound == pytest.approx(0.4)
+
+    def test_freestream_no_crossflow(self):
+        assert FlowConstants().freestream()[2] == 0.0
+
+
+class TestSaveSoln:
+    def test_elemental_matches_vectorized(self, kernels):
+        rng = seeded_rng(1)
+        k = kernels["save_soln"]
+        q = random_state(rng, 10)
+        qold_v = np.zeros_like(q)
+        qold_e = np.zeros_like(q)
+        k.vectorized(q, qold_v)
+        for i in range(10):
+            k.elemental(q[i], qold_e[i])
+        np.testing.assert_array_equal(qold_v, qold_e)
+        np.testing.assert_array_equal(qold_v, q)
+
+
+class TestAdtCalc:
+    def test_elemental_matches_vectorized(self, kernels):
+        rng = seeded_rng(2)
+        k = kernels["adt_calc"]
+        n = 16
+        xs = [rng.random((n, 2)) for _ in range(4)]
+        q = random_state(rng, n)
+        adt_v = np.zeros((n, 1))
+        adt_e = np.zeros((n, 1))
+        k.vectorized(*xs, q, adt_v)
+        for i in range(n):
+            k.elemental(*(x[i] for x in xs), q[i], adt_e[i])
+        np.testing.assert_allclose(adt_v, adt_e, rtol=1e-14)
+
+    def test_positive_timestep_measure(self, kernels):
+        rng = seeded_rng(3)
+        k = kernels["adt_calc"]
+        n = 8
+        xs = [rng.random((n, 2)) for _ in range(4)]
+        q = random_state(rng, n)
+        adt = np.zeros((n, 1))
+        k.vectorized(*xs, q, adt)
+        assert np.all(adt > 0)
+
+    def test_scales_inverse_with_cfl(self):
+        rng = seeded_rng(4)
+        n = 4
+        xs = [rng.random((n, 2)) for _ in range(4)]
+        q = random_state(rng, n)
+        a1 = np.zeros((n, 1))
+        a2 = np.zeros((n, 1))
+        make_kernels(FlowConstants(cfl=0.9))["adt_calc"].vectorized(*xs, q, a1)
+        make_kernels(FlowConstants(cfl=0.45))["adt_calc"].vectorized(*xs, q, a2)
+        np.testing.assert_allclose(a2, 2 * a1, rtol=1e-14)
+
+
+class TestResCalc:
+    def test_elemental_matches_vectorized(self, kernels):
+        rng = seeded_rng(5)
+        k = kernels["res_calc"]
+        n = 20
+        x1, x2 = rng.random((n, 2)), rng.random((n, 2))
+        q1, q2 = random_state(rng, n), random_state(rng, n)
+        adt1, adt2 = rng.random((n, 1)) + 0.1, rng.random((n, 1)) + 0.1
+        rv1, rv2 = np.zeros((n, 4)), np.zeros((n, 4))
+        re1, re2 = np.zeros((n, 4)), np.zeros((n, 4))
+        k.vectorized(x1, x2, q1, q2, adt1, adt2, rv1, rv2)
+        for i in range(n):
+            k.elemental(x1[i], x2[i], q1[i], q2[i], adt1[i], adt2[i], re1[i], re2[i])
+        np.testing.assert_allclose(rv1, re1, rtol=1e-13)
+        np.testing.assert_allclose(rv2, re2, rtol=1e-13)
+
+    def test_antisymmetric_contributions(self, kernels):
+        # What flows out of cell 1 flows into cell 2: res1 == -res2.
+        rng = seeded_rng(6)
+        k = kernels["res_calc"]
+        n = 10
+        x1, x2 = rng.random((n, 2)), rng.random((n, 2))
+        q1, q2 = random_state(rng, n), random_state(rng, n)
+        adt1, adt2 = rng.random((n, 1)) + 0.1, rng.random((n, 1)) + 0.1
+        r1, r2 = np.zeros((n, 4)), np.zeros((n, 4))
+        k.vectorized(x1, x2, q1, q2, adt1, adt2, r1, r2)
+        np.testing.assert_allclose(r1, -r2, rtol=1e-13)
+
+    def test_uniform_state_pure_pressure_flux(self, kernels):
+        # With q1 == q2 the dissipation vanishes; mass flux = vol * rho.
+        k = kernels["res_calc"]
+        q = DEFAULT_CONSTANTS.freestream()[None, :]
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[0.0, 1.0]])
+        adt = np.array([[1.0]])
+        r1, r2 = np.zeros((1, 4)), np.zeros((1, 4))
+        k.vectorized(x1, x2, q, q, adt, adt, r1, r2)
+        # dy = -1: vol = u*dy*rho... mass component = vol * rho.
+        u = q[0, 1] / q[0, 0]
+        assert r1[0, 0] == pytest.approx(-u * q[0, 0])
+
+
+class TestBresCalc:
+    def _inputs(self, rng, n, bound_value):
+        x1, x2 = rng.random((n, 2)), rng.random((n, 2))
+        q1 = random_state(rng, n)
+        adt1 = rng.random((n, 1)) + 0.1
+        res = np.zeros((n, 4))
+        bound = np.full((n, 1), bound_value, dtype=np.int64)
+        qinf = DEFAULT_CONSTANTS.freestream()
+        return x1, x2, q1, adt1, res, bound, qinf
+
+    @pytest.mark.parametrize("tag", [WALL, FARFIELD])
+    def test_elemental_matches_vectorized(self, kernels, tag):
+        rng = seeded_rng(7)
+        k = kernels["bres_calc"]
+        n = 12
+        x1, x2, q1, adt1, res_v, bound, qinf = self._inputs(rng, n, tag)
+        res_e = np.zeros_like(res_v)
+        k.vectorized(x1, x2, q1, adt1, res_v, bound, qinf)
+        for i in range(n):
+            k.elemental(x1[i], x2[i], q1[i], adt1[i], res_e[i], bound[i], qinf)
+        np.testing.assert_allclose(res_v, res_e, rtol=1e-13)
+
+    def test_wall_touches_only_momentum(self, kernels):
+        rng = seeded_rng(8)
+        k = kernels["bres_calc"]
+        x1, x2, q1, adt1, res, bound, qinf = self._inputs(rng, 6, WALL)
+        k.vectorized(x1, x2, q1, adt1, res, bound, qinf)
+        assert np.all(res[:, 0] == 0.0)
+        assert np.all(res[:, 3] == 0.0)
+        assert np.any(res[:, 1] != 0.0)
+
+    def test_farfield_freestream_matches_interior_flux(self, kernels):
+        # A far-field edge with q1 == qinf must reproduce the one-sided
+        # interior flux (zero net dissipation).
+        k = kernels["bres_calc"]
+        qinf = DEFAULT_CONSTANTS.freestream()
+        x1 = np.array([[0.2, 0.1]])
+        x2 = np.array([[0.7, 0.9]])
+        q1 = qinf[None, :].copy()
+        adt1 = np.array([[0.5]])
+        res = np.zeros((1, 4))
+        bound = np.array([[FARFIELD]], dtype=np.int64)
+        k.vectorized(x1, x2, q1, adt1, res, bound, qinf)
+        # Compare against res_calc's cell-1 contribution for q1 == q2 == qinf.
+        rk = kernels["res_calc"]
+        r1, r2 = np.zeros((1, 4)), np.zeros((1, 4))
+        rk.vectorized(x1, x2, q1, q1, adt1, adt1, r1, r2)
+        np.testing.assert_allclose(res, r1, rtol=1e-13)
+
+
+class TestUpdate:
+    def test_elemental_matches_vectorized(self, kernels):
+        rng = seeded_rng(9)
+        k = kernels["update"]
+        n = 15
+        qold = random_state(rng, n)
+        res = rng.normal(0, 0.1, (n, 4))
+        adt = rng.random((n, 1)) + 0.2
+        qv, qe = np.zeros((n, 4)), np.zeros((n, 4))
+        rv, re = res.copy(), res.copy()
+        rmsv, rmse = np.zeros((n, 1)), np.zeros((n, 1))
+        k.vectorized(qold, qv, rv, adt, rmsv)
+        for i in range(n):
+            k.elemental(qold[i], qe[i], re[i], adt[i], rmse[i])
+        np.testing.assert_allclose(qv, qe, rtol=1e-14)
+        np.testing.assert_array_equal(rv, re)
+        np.testing.assert_allclose(rmsv, rmse, rtol=1e-13)
+
+    def test_resets_residual(self, kernels):
+        rng = seeded_rng(10)
+        k = kernels["update"]
+        res = rng.random((5, 4))
+        qold = random_state(rng, 5)
+        k.vectorized(qold, np.zeros((5, 4)), res, np.ones((5, 1)), np.zeros((5, 1)))
+        assert np.all(res == 0.0)
+
+    def test_zero_residual_keeps_solution(self, kernels):
+        rng = seeded_rng(11)
+        k = kernels["update"]
+        qold = random_state(rng, 5)
+        q = np.zeros_like(qold)
+        rms = np.zeros((5, 1))
+        k.vectorized(qold, q, np.zeros((5, 4)), np.ones((5, 1)), rms)
+        np.testing.assert_array_equal(q, qold)
+        assert np.all(rms == 0.0)
+
+
+class TestKernelCosts:
+    def test_all_kernels_have_costs_and_vectorized(self, kernels):
+        for k in kernels.values():
+            assert k.has_vectorized
+            assert k.cost.unit_cost > 0
+
+    def test_save_soln_most_memory_bound(self, kernels):
+        assert kernels["save_soln"].cost.mem_fraction == max(
+            k.cost.mem_fraction for k in kernels.values()
+        )

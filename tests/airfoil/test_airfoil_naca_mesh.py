@@ -1,0 +1,181 @@
+"""Tests for NACA geometry and the O-mesh generator."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil.meshgen import (
+    FARFIELD,
+    WALL,
+    generate_mesh,
+    scaled_mesh_dims,
+)
+from repro.airfoil.naca import naca4_camber, naca4_surface, naca4_thickness
+from repro.util.validate import ValidationError
+
+
+class TestNacaThickness:
+    def test_zero_at_leading_edge(self):
+        assert naca4_thickness(np.array([0.0]))[0] == 0.0
+
+    def test_closed_trailing_edge(self):
+        assert naca4_thickness(np.array([1.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_max_thickness_near_30_percent(self):
+        x = np.linspace(0, 1, 1001)
+        yt = naca4_thickness(x, 0.12)
+        peak = x[np.argmax(yt)]
+        assert 0.25 < peak < 0.35
+        assert np.max(yt) == pytest.approx(0.06, abs=0.005)  # half-thickness
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            naca4_thickness(np.array([1.5]))
+
+    def test_invalid_thickness(self):
+        with pytest.raises(ValidationError):
+            naca4_thickness(np.array([0.5]), thickness=0.0)
+
+
+class TestNacaCamber:
+    def test_symmetric_zero_camber(self):
+        assert np.all(naca4_camber(np.linspace(0, 1, 11)) == 0.0)
+
+    def test_cambered_positive(self):
+        yc = naca4_camber(np.linspace(0.01, 0.99, 50), m=0.02, p=0.4)
+        assert np.all(yc > 0)
+
+    def test_camber_peak_at_p(self):
+        x = np.linspace(0, 1, 1001)
+        yc = naca4_camber(x, m=0.02, p=0.4)
+        assert x[np.argmax(yc)] == pytest.approx(0.4, abs=0.01)
+
+
+class TestNacaSurface:
+    def test_point_count_and_shape(self):
+        s = naca4_surface(64)
+        assert s.shape == (64, 2)
+
+    def test_clockwise_loop_for_ccw_cells(self):
+        # The surface loop runs TE -> lower -> LE -> upper (clockwise as a
+        # polygon); combined with the outward radial direction this makes
+        # the O-mesh cells counterclockwise, which the kernels require.
+        s = naca4_surface(64)
+        area2 = np.sum(
+            s[:, 0] * np.roll(s[:, 1], -1) - np.roll(s[:, 0], -1) * s[:, 1]
+        )
+        assert area2 < 0
+
+    def test_starts_at_trailing_edge(self):
+        s = naca4_surface(32)
+        assert s[0, 0] == pytest.approx(1.0)
+        assert s[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValidationError):
+            naca4_surface(33)
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValidationError):
+            naca4_surface(4)
+
+
+class TestMeshTopology:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return generate_mesh(ni=16, nj=6)
+
+    def test_set_sizes(self, mesh):
+        ni, nj = 16, 6
+        assert mesh.nodes.size == ni * (nj + 1)
+        assert mesh.cells.size == ni * nj
+        assert mesh.edges.size == ni * nj + ni * (nj - 1)
+        assert mesh.bedges.size == 2 * ni
+
+    def test_every_interior_edge_has_two_distinct_cells(self, mesh):
+        pc = mesh.pecell.values
+        assert np.all(pc[:, 0] != pc[:, 1])
+
+    def test_every_edge_has_two_distinct_nodes(self, mesh):
+        pe = mesh.pedge.values
+        assert np.all(pe[:, 0] != pe[:, 1])
+
+    def test_cell_corner_count(self, mesh):
+        # Each interior node belongs to exactly 4 cells; wall/far nodes to 2.
+        counts = np.bincount(mesh.pcell.values.ravel(), minlength=mesh.nodes.size)
+        ni, nj = mesh.ni, mesh.nj
+        interior = counts.reshape(nj + 1, ni)[1:nj]
+        boundary = np.concatenate(
+            [counts.reshape(nj + 1, ni)[0], counts.reshape(nj + 1, ni)[nj]]
+        )
+        assert np.all(interior == 4)
+        assert np.all(boundary == 2)
+
+    def test_edge_cell_adjacency_conservation(self, mesh):
+        # Each cell is flanked by exactly 4 faces (edges + bedges).
+        face_count = np.bincount(mesh.pecell.values.ravel(), minlength=mesh.cells.size)
+        face_count += np.bincount(
+            mesh.pbecell.values.ravel(), minlength=mesh.cells.size
+        )
+        assert np.all(face_count == 4)
+
+    def test_boundary_tags(self, mesh):
+        bound = mesh.bound.data[:, 0]
+        assert np.sum(bound == WALL) == mesh.ni
+        assert np.sum(bound == FARFIELD) == mesh.ni
+
+    def test_all_cells_positively_oriented(self, mesh):
+        x = mesh.x.data
+        pc = mesh.pcell.values
+        areas = np.zeros(mesh.cells.size)
+        for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            areas += (
+                x[pc[:, a], 0] * x[pc[:, b], 1] - x[pc[:, b], 0] * x[pc[:, a], 1]
+            )
+        assert np.all(areas > 0)
+
+    def test_signed_face_vectors_telescope(self, mesh):
+        """Sum of outward face vectors around every cell is ~0 (closure)."""
+        x = mesh.x.data
+        net = np.zeros((mesh.cells.size, 2))
+        d = x[mesh.pedge.values[:, 0]] - x[mesh.pedge.values[:, 1]]
+        # res_calc adds with the edge vector for cell1 and subtracts for cell2.
+        np.add.at(net, mesh.pecell.values[:, 0], d)
+        np.add.at(net, mesh.pecell.values[:, 1], -d)
+        db = x[mesh.pbedge.values[:, 0]] - x[mesh.pbedge.values[:, 1]]
+        np.add.at(net, mesh.pbecell.values[:, 0], db)
+        assert np.max(np.abs(net)) < 1e-12
+
+    def test_far_field_radius(self, mesh):
+        outer = mesh.x.data[mesh.nj * mesh.ni :]
+        r = np.hypot(outer[:, 0] - 0.5, outer[:, 1])
+        assert np.allclose(r, 10.0)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_mesh(ni=15, nj=6)  # odd ni
+        with pytest.raises(ValidationError):
+            generate_mesh(ni=16, nj=1)
+        with pytest.raises(ValidationError):
+            generate_mesh(ni=16, nj=6, far_radius=0.5)
+
+    def test_summary_mentions_sizes(self, mesh):
+        s = mesh.summary()
+        assert str(mesh.cells.size) in s
+
+
+class TestScaledMeshDims:
+    def test_identity_at_factor_one(self):
+        assert scaled_mesh_dims(16, 8, 1.0) == (16, 8)
+
+    def test_cell_count_roughly_scales(self):
+        ni, nj = scaled_mesh_dims(32, 16, 4.0)
+        assert ni * nj == pytest.approx(4 * 32 * 16, rel=0.15)
+
+    def test_ni_stays_even(self):
+        for f in (1.5, 2.0, 3.7, 8.0):
+            ni, _ = scaled_mesh_dims(18, 10, f)
+            assert ni % 2 == 0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValidationError):
+            scaled_mesh_dims(16, 8, 0.0)

@@ -1,0 +1,54 @@
+"""Tests for mesh quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import generate_mesh
+from repro.airfoil.quality import cell_quality_arrays, mesh_quality
+
+
+class TestCellQualityArrays:
+    def test_areas_positive_on_generated_mesh(self):
+        arrays = cell_quality_arrays(generate_mesh(ni=16, nj=6))
+        assert np.all(arrays["area"] > 0)
+
+    def test_aspect_at_least_one(self):
+        arrays = cell_quality_arrays(generate_mesh(ni=16, nj=6))
+        assert np.all(arrays["aspect"] >= 1.0)
+
+    def test_skew_in_unit_range(self):
+        arrays = cell_quality_arrays(generate_mesh(ni=24, nj=10))
+        assert np.all(arrays["skew"] >= 0.0)
+        assert np.all(arrays["skew"] <= 1.0)
+
+    def test_clustering_raises_aspect(self):
+        mild = cell_quality_arrays(generate_mesh(ni=24, nj=10, clustering=1.0))
+        harsh = cell_quality_arrays(generate_mesh(ni=24, nj=10, clustering=16.0))
+        assert harsh["aspect"].max() > mild["aspect"].max()
+
+
+class TestMeshQuality:
+    def test_default_mesh_is_healthy(self):
+        q = mesh_quality(generate_mesh(ni=32, nj=16))
+        assert q.healthy()
+        assert q.min_area > 0
+
+    def test_report_mentions_cells(self):
+        q = mesh_quality(generate_mesh(ni=16, nj=6))
+        assert "96 cells" in q.report()
+
+    def test_extreme_clustering_flagged(self):
+        # Pathological clustering produces needle cells the health bound
+        # rejects under a tight aspect limit.
+        q = mesh_quality(generate_mesh(ni=16, nj=20, clustering=64.0))
+        assert not q.healthy(max_aspect=5.0)
+
+    def test_smoothness_at_least_one(self):
+        q = mesh_quality(generate_mesh(ni=16, nj=6))
+        assert q.max_smoothness >= 1.0
+
+    def test_finer_mesh_same_quality_class(self):
+        coarse = mesh_quality(generate_mesh(ni=16, nj=8))
+        fine = mesh_quality(generate_mesh(ni=64, nj=32))
+        # Refinement must not degrade skewness materially.
+        assert fine.max_skew <= coarse.max_skew + 0.1

@@ -1,0 +1,164 @@
+"""Tests for the shallow-water application (third OP2 app)."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import generate_mesh
+from repro.apps.shallow_water import (
+    G,
+    ShallowWaterApp,
+    cell_geometry,
+    make_sw_kernels,
+)
+from repro.op2 import op2_session
+
+BACKENDS = ["seq", "openmp", "foreach", "hpx_async", "hpx_dataflow"]
+
+
+@pytest.fixture(scope="module")
+def sw_mesh():
+    return generate_mesh(ni=24, nj=12)
+
+
+class TestCellGeometry:
+    def test_areas_positive(self, sw_mesh):
+        area, perim = cell_geometry(sw_mesh)
+        assert np.all(area > 0)
+        assert np.all(perim > 0)
+
+    def test_total_area_is_exact_polygon_difference(self, sw_mesh):
+        # Straight-edge quads tile the annulus exactly: total cell area ==
+        # outer boundary polygon area minus airfoil polygon area.
+        area, _ = cell_geometry(sw_mesh)
+
+        def polygon_area(pts):
+            x, y = pts[:, 0], pts[:, 1]
+            return 0.5 * float(
+                np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+            )
+
+        ni, nj = sw_mesh.ni, sw_mesh.nj
+        inner = sw_mesh.x.data[:ni]  # wall nodes (j = 0)
+        outer = sw_mesh.x.data[nj * ni :]  # far-field nodes (j = nj)
+        expected = abs(polygon_area(outer)) - abs(polygon_area(inner))
+        assert float(area.sum()) == pytest.approx(expected, rel=1e-12)
+
+    def test_isoperimetric_bound(self, sw_mesh):
+        area, perim = cell_geometry(sw_mesh)
+        # 4*pi*A <= P^2 for any planar region.
+        assert np.all(4 * np.pi * area <= perim**2 + 1e-12)
+
+
+class TestSwKernels:
+    def test_flux_elemental_matches_vectorized(self):
+        rng = np.random.default_rng(0)
+        k = make_sw_kernels(0.4)["sw_flux"]
+        n = 14
+        x1, x2 = rng.random((n, 2)), rng.random((n, 2))
+        u1 = np.stack([1 + rng.random(n), rng.normal(0, 0.1, n), rng.normal(0, 0.1, n)], axis=1)
+        u2 = np.stack([1 + rng.random(n), rng.normal(0, 0.1, n), rng.normal(0, 0.1, n)], axis=1)
+        rv1, rv2 = np.zeros((n, 3)), np.zeros((n, 3))
+        re1, re2 = np.zeros((n, 3)), np.zeros((n, 3))
+        k.vectorized(x1, x2, u1, u2, rv1, rv2)
+        for i in range(n):
+            k.elemental(x1[i], x2[i], u1[i], u2[i], re1[i], re2[i])
+        np.testing.assert_allclose(rv1, re1, rtol=1e-13)
+        np.testing.assert_allclose(rv2, re2, rtol=1e-13)
+
+    def test_flux_antisymmetric(self):
+        rng = np.random.default_rng(1)
+        k = make_sw_kernels(0.4)["sw_flux"]
+        n = 6
+        x1, x2 = rng.random((n, 2)), rng.random((n, 2))
+        u1 = np.stack([np.full(n, 1.2), rng.normal(0, 0.1, n), rng.normal(0, 0.1, n)], axis=1)
+        u2 = np.stack([np.full(n, 0.9), rng.normal(0, 0.1, n), rng.normal(0, 0.1, n)], axis=1)
+        r1, r2 = np.zeros((n, 3)), np.zeros((n, 3))
+        k.vectorized(x1, x2, u1, u2, r1, r2)
+        np.testing.assert_allclose(r1, -r2, rtol=1e-13)
+
+    def test_still_water_zero_flux(self):
+        # Lake at rest: equal depth, zero momentum -> central flux cancels
+        # except the pressure term, which is equal on both sides.
+        k = make_sw_kernels(0.4)["sw_flux"]
+        u = np.array([[1.0, 0.0, 0.0]])
+        x1 = np.array([[0.0, 0.0]])
+        x2 = np.array([[1.0, 0.5]])
+        r1, r2 = np.zeros((1, 3)), np.zeros((1, 3))
+        k.vectorized(x1, x2, u, u, r1, r2)
+        assert r1[0, 0] == 0.0  # no mass flux
+        # Momentum flux is pure pressure: p*n, n = (dy, -dx), dx/dy = x1-x2.
+        dx, dy = x1[0] - x2[0]
+        np.testing.assert_allclose(r1[0, 1:], 0.5 * G * np.array([dy, -dx]))
+
+    def test_wavespeed_matches_analytic(self):
+        k = make_sw_kernels(0.5)["sw_wavespeed"]
+        u = np.array([[1.0, 0.0, 0.0]])
+        area = np.array([[2.0]])
+        perim = np.array([[6.0]])
+        dtmin = np.full((1, 1), np.inf)
+        k.vectorized(u, area, perim, dtmin)
+        expected = 0.5 * 2.0 * 2.0 / (6.0 * np.sqrt(G))
+        assert dtmin[0, 0] == pytest.approx(expected)
+
+    def test_update_elemental_matches_vectorized(self):
+        rng = np.random.default_rng(2)
+        k = make_sw_kernels(0.4)["sw_update"]
+        n = 9
+        uv = np.stack([1 + rng.random(n), rng.normal(0, 0.1, n), rng.normal(0, 0.1, n)], axis=1)
+        ue = uv.copy()
+        resv = rng.normal(0, 0.1, (n, 3))
+        rese = resv.copy()
+        area = 0.5 + rng.random((n, 1))
+        dt = np.array([0.01])
+        rmsv, rmse = np.zeros((n, 1)), np.zeros((n, 1))
+        k.vectorized(uv, resv, area, dt, rmsv)
+        for i in range(n):
+            k.elemental(ue[i], rese[i], area[i], dt, rmse[i])
+        np.testing.assert_allclose(uv, ue, rtol=1e-14)
+        np.testing.assert_allclose(rmsv, rmse, rtol=1e-13)
+        assert np.all(resv == 0.0)
+
+
+class TestShallowWaterPhysics:
+    def test_mass_exactly_conserved(self, sw_mesh):
+        with op2_session(backend="seq", block_size=32) as rt:
+            app = ShallowWaterApp(sw_mesh)
+            m0 = app.total_mass()
+            res = app.run(rt, 40)
+        assert res.mass == pytest.approx(m0, rel=1e-13)
+
+    def test_still_water_stays_still(self, sw_mesh):
+        with op2_session(backend="seq", block_size=32) as rt:
+            app = ShallowWaterApp(sw_mesh, bump_height=0.0)
+            res = app.run(rt, 10)
+        assert res.h_range == pytest.approx((1.0, 1.0))
+        assert res.rms_total == pytest.approx(0.0, abs=1e-20)
+
+    def test_bump_spreads_and_decays(self, sw_mesh):
+        with op2_session(backend="seq", block_size=32) as rt:
+            app = ShallowWaterApp(sw_mesh, bump_height=0.1)
+            h_max0 = float(app.u.data[:, 0].max())
+            res = app.run(rt, 60)
+        assert res.h_range[1] < h_max0  # peak radiates away
+        assert res.h_range[0] > 0.5  # no drying / blow-up
+
+    def test_positive_timesteps(self, sw_mesh):
+        with op2_session(backend="seq", block_size=32) as rt:
+            app = ShallowWaterApp(sw_mesh)
+            res = app.run(rt, 5)
+        assert all(dt > 0 for dt in res.dt_history)
+        assert res.time == pytest.approx(sum(res.dt_history))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShallowWaterBackends:
+    def test_backends_agree(self, sw_mesh, backend):
+        with op2_session(backend="seq", block_size=32) as rt:
+            ref_app = ShallowWaterApp(sw_mesh)
+            ref = ref_app.run(rt, 10)
+        with op2_session(backend=backend, num_threads=3, block_size=32) as rt:
+            app = ShallowWaterApp(sw_mesh)
+            res = app.run(rt, 10)
+        np.testing.assert_allclose(app.u.data, ref_app.u.data, rtol=1e-10, atol=1e-13)
+        assert res.mass == pytest.approx(ref.mass)
+        assert res.time == pytest.approx(ref.time)

@@ -1,0 +1,172 @@
+"""Structural tests for task-graph emission per backend."""
+
+import pytest
+
+from repro.airfoil import AirfoilApp, generate_mesh
+from repro.backends.costs import LoopCostModel
+from repro.op2 import op2_session
+from repro.sim.barriers import barrier_cost
+from repro.sim.engine import simulate
+from repro.sim.machine import paper_machine
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Functional runs of every backend on a tiny mesh, with their logs."""
+    mesh = generate_mesh(ni=16, nj=6)
+    out = {}
+    for backend in ("seq", "openmp", "foreach", "foreach_static", "hpx_async", "hpx_dataflow"):
+        with op2_session(backend=backend, num_threads=2, block_size=16) as rt:
+            app = AirfoilApp(mesh)
+            app.run(rt, 2)
+        out[backend] = rt
+    return out
+
+
+MACHINE = paper_machine()
+CM = LoopCostModel(jitter=0.1)
+
+
+def emit(runs, backend, threads=4):
+    rt = runs[backend]
+    return rt.backend.emit(rt.log, MACHINE, threads, CM)
+
+
+class TestEmissionCommon:
+    @pytest.mark.parametrize(
+        "backend",
+        ["seq", "openmp", "foreach", "foreach_static", "hpx_async", "hpx_dataflow"],
+    )
+    def test_graph_is_valid_and_simulates(self, runs, backend):
+        graph = emit(runs, backend)
+        graph.validate()
+        res = simulate(graph, MACHINE, 4)
+        assert res.makespan > 0.0
+        assert res.tasks_executed == len(graph)
+
+    @pytest.mark.parametrize(
+        "backend", ["openmp", "foreach", "hpx_async", "hpx_dataflow"]
+    )
+    def test_work_identical_across_backends(self, runs, backend):
+        # All backends execute the same blocks: identical useful-work cost
+        # (the auto partitioner books its measurement prefix as 'prefix').
+        base = emit(runs, "seq").total_work("work")
+        graph = emit(runs, backend)
+        useful = graph.total_work("work") + graph.total_work("prefix")
+        assert useful == pytest.approx(base)
+
+    @pytest.mark.parametrize(
+        "backend", ["openmp", "foreach", "hpx_async", "hpx_dataflow"]
+    )
+    def test_makespan_bounded_by_critical_path_and_work(self, runs, backend):
+        graph = emit(runs, backend)
+        res = simulate(graph, MACHINE, 4)
+        assert res.makespan >= graph.critical_path() - 1e-9
+
+
+class TestSeqEmission:
+    def test_pure_serial_chain(self, runs):
+        graph = emit(runs, "seq")
+        # Every task depends on the previous one: critical path == work.
+        assert graph.critical_path() == pytest.approx(graph.total_work())
+
+    def test_all_tasks_pinned_to_thread_zero(self, runs):
+        graph = emit(runs, "seq")
+        assert all(t.affinity == 0 for t in graph)
+
+
+class TestOpenMPEmission:
+    def test_one_barrier_per_color_region(self, runs):
+        rt = runs["openmp"]
+        graph = emit(runs, "openmp")
+        regions = sum(r.plan.ncolors for r in rt.log.loops())
+        assert graph.by_kind()["barrier"] == regions
+
+    def test_barrier_cost_matches_model(self, runs):
+        graph = emit(runs, "openmp", threads=8)
+        barriers = [t for t in graph if t.kind == "barrier"]
+        assert all(
+            t.cost == pytest.approx(barrier_cost(MACHINE, 8)) for t in barriers
+        )
+
+    def test_work_tasks_have_affinity(self, runs):
+        graph = emit(runs, "openmp")
+        assert all(t.affinity is not None for t in graph if t.kind == "work")
+
+    def test_loops_fully_serialized_by_barriers(self, runs):
+        # No work task of loop N+1 may start before loop N's barrier: every
+        # work task (except the first region's) depends transitively on a
+        # barrier. Cheap proxy: roots contain only the first fork.
+        graph = emit(runs, "openmp")
+        roots = graph.roots()
+        assert len(roots) == 1
+        assert graph.tasks[roots[0]].kind == "spawn"
+
+
+class TestForeachEmission:
+    def test_auto_has_serial_prefix_tasks(self, runs):
+        graph = emit(runs, "foreach")
+        assert graph.by_kind().get("prefix", 0) > 0
+
+    def test_static_has_no_prefix(self, runs):
+        graph = emit(runs, "foreach_static")
+        assert graph.by_kind().get("prefix", 0) == 0
+
+    def test_join_per_region(self, runs):
+        rt = runs["foreach_static"]
+        graph = emit(runs, "foreach_static")
+        regions = sum(r.plan.ncolors for r in rt.log.loops())
+        assert graph.by_kind()["join"] == regions
+
+    def test_chunks_are_unpinned(self, runs):
+        graph = emit(runs, "foreach_static")
+        assert all(t.affinity is None for t in graph if t.kind == "work")
+
+    def test_no_barriers(self, runs):
+        assert "barrier" not in emit(runs, "foreach").by_kind()
+
+
+class TestAsyncEmission:
+    def test_syncs_present_as_joins(self, runs):
+        rt = runs["hpx_async"]
+        graph = emit(runs, "hpx_async")
+        from repro.op2.runtime import SyncRecord
+
+        syncs = sum(1 for e in rt.log.entries if isinstance(e, SyncRecord))
+        assert syncs > 0
+        # Each sync appears as a join task (plus zero-cost color gates).
+        joins = [t for t in graph if t.kind == "join" and t.name.startswith("sync")]
+        assert len(joins) == syncs
+
+    def test_no_barriers(self, runs):
+        assert "barrier" not in emit(runs, "hpx_async").by_kind()
+
+    def test_spawn_chain_serializes_driver(self, runs):
+        graph = emit(runs, "hpx_async")
+        spawns = [t for t in graph if t.kind == "spawn"]
+        assert all(t.affinity == 0 for t in spawns)
+
+
+class TestDataflowEmission:
+    def test_no_barriers_no_syncs(self, runs):
+        kinds = emit(runs, "hpx_dataflow").by_kind()
+        assert "barrier" not in kinds
+        assert "spawn" not in kinds
+
+    def test_cheapest_structure_has_shortest_makespan(self, runs):
+        times = {
+            b: simulate(emit(runs, b, threads=8), MACHINE, 8).makespan
+            for b in ("openmp", "hpx_async", "hpx_dataflow")
+        }
+        assert times["hpx_dataflow"] <= times["hpx_async"] <= times["openmp"] * 1.02
+
+    def test_cross_step_pipelining_edges_exist(self, runs):
+        # save_soln of step 2 must NOT depend on everything of step 1: its
+        # block tasks depend only on update blocks (via q/qold), so the
+        # graph's second save_soln blocks have in-degree <= a few blocks.
+        rt = runs["hpx_dataflow"]
+        graph = emit(runs, "hpx_dataflow")
+        saves = [t for t in graph if t.loop == "save_soln" and t.kind == "work"]
+        # Two steps -> two generations of save blocks.
+        second_gen = saves[len(saves) // 2 :]
+        assert all(len(t.deps) <= 8 for t in second_gen)

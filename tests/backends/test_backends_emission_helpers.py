@@ -1,0 +1,87 @@
+"""Tests for the shared emission helpers and reentrancy corners."""
+
+import numpy as np
+import pytest
+
+from repro.backends.emission import add_gate, static_split
+from repro.hpx import for_each, par, par_task
+from repro.hpx.runtime import async_
+from repro.sim.task import TaskGraph
+
+
+class TestStaticSplit:
+    def test_partitions_preserving_order(self):
+        parts = static_split(list(range(10)), 3)
+        assert sum(parts, []) == list(range(10))
+        assert len(parts) == 3
+
+    def test_near_even(self):
+        parts = static_split(list(range(11)), 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        parts = static_split([1, 2], 5)
+        assert sum(parts, []) == [1, 2]
+        assert len(parts) == 5  # some empty
+
+    def test_single_part(self):
+        assert static_split([3, 1, 4], 1) == [[3, 1, 4]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            static_split([1], 0)
+
+    def test_empty_items(self):
+        parts = static_split([], 3)
+        assert all(p == [] for p in parts)
+
+
+class TestAddGate:
+    def test_zero_cost_join(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0)
+        b = g.add("b", 2.0)
+        gate = add_gate(g, "gate", [a, b], loop="adt")
+        task = g.tasks[gate]
+        assert task.cost == 0.0
+        assert task.kind == "join"
+        assert task.deps == (a, b)
+        assert task.loop == "adt"
+
+
+class TestExecutorReentrancy:
+    def test_nested_for_each_inside_task(self, hpx_rt):
+        """A task body may itself run a joining parallel loop (the async
+        backend's colored-loop orchestration relies on this)."""
+        inner_hits = []
+
+        def outer():
+            for_each(par, range(10), inner_hits.append)
+            return "done"
+
+        assert async_(outer).get() == "done"
+        assert sorted(inner_hits) == list(range(10))
+
+    def test_two_levels_of_nesting(self, hpx_rt):
+        total = []
+
+        def leaf(i):
+            total.append(i)
+
+        def middle(j):
+            for_each(par, range(3), lambda i, j=j: leaf(10 * j + i))
+
+        def outer():
+            for_each(par, range(3), middle)
+
+        async_(outer).get()
+        assert sorted(total) == sorted(10 * j + i for j in range(3) for i in range(3))
+
+    def test_par_task_from_within_task(self, hpx_rt):
+        def outer():
+            fut = for_each(par_task, range(5), lambda i: None)
+            fut.get()
+            return True
+
+        assert async_(outer).get()

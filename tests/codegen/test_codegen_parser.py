@@ -1,0 +1,117 @@
+"""Tests for the op_par_loop source parser."""
+
+import pytest
+
+from repro.codegen.parser import CodegenError, parse_loops, rewrite_calls
+
+GOOD = """
+def step(ctx):
+    op_par_loop(ctx.kernels["save"], "save", ctx.cells,
+        op_arg_dat(ctx.q, -1, OP_ID, OP_READ),
+        op_arg_dat(ctx.qold, -1, OP_ID, OP_WRITE))
+    op_par_loop(ctx.kernels["res"], "res", ctx.edges,
+        op_arg_dat(ctx.q, 0, ctx.e2c, OP_READ),
+        op_arg_dat(ctx.res, 1, ctx.e2c, OP_INC),
+        op_arg_gbl(ctx.total, OP_INC))
+"""
+
+
+class TestParseLoops:
+    def test_finds_all_loops_in_order(self):
+        loops = parse_loops(GOOD)
+        assert [l.name for l in loops] == ["save", "res"]
+
+    def test_direct_vs_indirect_classification(self):
+        save, res = parse_loops(GOOD)
+        assert save.is_direct
+        assert not res.is_direct
+        assert res.has_indirect_reduction
+
+    def test_arg_details(self):
+        save, res = parse_loops(GOOD)
+        assert save.args[0].dat_src == "ctx.q"
+        assert save.args[0].access == "OP_READ"
+        assert save.args[0].is_direct
+        assert res.args[1].map_src == "ctx.e2c"
+        assert res.args[1].idx == 1
+        assert res.args[2].is_global
+
+    def test_kernel_and_set_sources_preserved(self):
+        save, _ = parse_loops(GOOD)
+        assert save.kernel_src == "ctx.kernels['save']"
+        assert save.set_src == "ctx.cells"
+
+    def test_lineno_recorded(self):
+        save, res = parse_loops(GOOD)
+        assert res.lineno > save.lineno > 0
+
+    def test_generated_name(self):
+        save, _ = parse_loops(GOOD)
+        assert save.generated_name == "op_par_loop_save"
+
+    def test_arg_reconstruct_round_trips(self):
+        save, res = parse_loops(GOOD)
+        assert save.args[0].reconstruct() == "op_arg_dat(ctx.q, -1, OP_ID, OP_READ)"
+        assert res.args[2].reconstruct() == "op_arg_gbl(ctx.total, OP_INC)"
+
+
+class TestParserDiagnostics:
+    def test_syntax_error_reported(self):
+        with pytest.raises(CodegenError, match="does not parse"):
+            parse_loops("def broken(:")
+
+    def test_non_literal_name_rejected(self):
+        src = "op_par_loop(k, name_var, s, op_arg_dat(d, -1, OP_ID, OP_READ))"
+        with pytest.raises(CodegenError, match="string literal"):
+            parse_loops(src)
+
+    def test_too_few_args_rejected(self):
+        with pytest.raises(CodegenError, match="needs"):
+            parse_loops('op_par_loop(k, "x")')
+
+    def test_bad_arg_kind_rejected(self):
+        with pytest.raises(CodegenError, match="op_arg_dat/op_arg_gbl"):
+            parse_loops('op_par_loop(k, "x", s, some_dat)')
+
+    def test_bad_access_rejected(self):
+        with pytest.raises(CodegenError, match="access mode"):
+            parse_loops('op_par_loop(k, "x", s, op_arg_dat(d, -1, OP_ID, READING))')
+
+    def test_non_literal_index_rejected(self):
+        with pytest.raises(CodegenError, match="integer literal"):
+            parse_loops('op_par_loop(k, "x", s, op_arg_dat(d, i, m, OP_READ))')
+
+    def test_direct_with_nonneg_index_rejected(self):
+        with pytest.raises(CodegenError, match="idx=-1"):
+            parse_loops('op_par_loop(k, "x", s, op_arg_dat(d, 0, OP_ID, OP_READ))')
+
+    def test_wrong_arity_op_arg_gbl(self):
+        with pytest.raises(CodegenError, match="op_arg_gbl takes"):
+            parse_loops('op_par_loop(k, "x", s, op_arg_gbl(g, OP_INC, 3))')
+
+    def test_error_message_carries_line_number(self):
+        src = "\n\n" + 'op_par_loop(k, "x", s, op_arg_dat(d, -1, OP_ID, BAD))'
+        with pytest.raises(CodegenError, match="line 3"):
+            parse_loops(src)
+
+
+class TestRewriteCalls:
+    def test_call_target_renamed(self):
+        out = rewrite_calls(GOOD)
+        assert "op_par_loop_save(ctx.kernels['save']" in out
+        assert "op_par_loop_res(" in out
+
+    def test_loop_name_argument_kept(self):
+        out = rewrite_calls(GOOD)
+        assert "'save'" in out
+
+    def test_other_calls_untouched(self):
+        src = "foo(1)\n" + 'op_par_loop(k, "x", s, op_arg_dat(d, -1, OP_ID, OP_READ))'
+        out = rewrite_calls(src)
+        assert "foo(1)" in out
+        assert "op_par_loop_x(" in out
+
+    def test_rewritten_source_parses(self):
+        import ast
+
+        ast.parse(rewrite_calls(GOOD))

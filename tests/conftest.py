@@ -1,0 +1,49 @@
+"""Shared fixtures: isolated runtimes, small meshes, hypothesis profile."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.airfoil import generate_mesh
+from repro.hpx.runtime import HPXRuntime, set_runtime
+from repro.op2.runtime import set_op2_runtime
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture()
+def hpx_rt():
+    """A fresh 4-worker HPX runtime installed as current for the test."""
+    rt = HPXRuntime(4)
+    prev = set_runtime(rt)
+    prev_op2 = set_op2_runtime(None)
+    yield rt
+    set_runtime(prev)
+    set_op2_runtime(prev_op2)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_runtimes():
+    """Never leak a session installed by a test into the next test."""
+    yield
+    set_runtime(None)
+    set_op2_runtime(None)
+
+
+@pytest.fixture(scope="session")
+def tiny_mesh():
+    """16x6 O-mesh: 96 cells, 176 edges — fast enough for any test."""
+    return generate_mesh(ni=16, nj=6)
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    """24x10 O-mesh used by the numerical cross-backend tests."""
+    return generate_mesh(ni=24, nj=10)

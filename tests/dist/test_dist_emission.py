@@ -1,0 +1,112 @@
+"""Tests for distributed task-graph emission and the overlap claim."""
+
+import pytest
+
+from repro.airfoil import generate_mesh
+from repro.dist.app import DistAirfoil
+from repro.dist.comm import CommModel
+from repro.dist.emission import DistScheduleConfig, emit_distributed
+from repro.sim.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def dist4():
+    mesh = generate_mesh(ni=48, nj=24)
+    return DistAirfoil(mesh, 4, partitioner="rcb")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DistScheduleConfig(threads_per_node=4, niter=2)
+
+
+class TestCommModel:
+    def test_wire_cost_monotone_in_bytes(self):
+        c = CommModel()
+        assert c.wire_cost(10_000) > c.wire_cost(100) > c.latency
+
+    def test_latency_floor(self):
+        c = CommModel(latency=5.0)
+        assert c.wire_cost(0) == 5.0
+
+    def test_pack_cost(self):
+        c = CommModel()
+        assert c.pack_cost(1000) > c.pack_cost(0) > 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(Exception):
+            CommModel(bandwidth=0.0)
+
+
+class TestEmission:
+    @pytest.mark.parametrize("schedule", ["blocking", "overlapped"])
+    def test_graph_valid_and_simulates(self, dist4, config, schedule):
+        graph = emit_distributed(dist4.dplan, dist4.mesh, config, schedule)
+        graph.validate()
+        machine = config.cluster_machine(dist4.dplan.ranks)
+        res = simulate(graph, machine, machine.num_cores)
+        assert res.tasks_executed == len(graph)
+        assert res.makespan > 0
+
+    def test_same_compute_work_both_schedules(self, dist4, config):
+        b = emit_distributed(dist4.dplan, dist4.mesh, config, "blocking")
+        o = emit_distributed(dist4.dplan, dist4.mesh, config, "overlapped")
+        assert b.total_work("work") == pytest.approx(o.total_work("work"))
+
+    def test_blocking_has_global_gates(self, dist4, config):
+        graph = emit_distributed(dist4.dplan, dist4.mesh, config, "blocking")
+        gates = [t for t in graph if t.kind == "barrier" and "gate" in t.name]
+        assert gates
+
+    def test_overlapped_has_no_global_gates(self, dist4, config):
+        graph = emit_distributed(dist4.dplan, dist4.mesh, config, "overlapped")
+        assert not [t for t in graph if "gate" in t.name]
+
+    def test_unknown_schedule_rejected(self, dist4, config):
+        with pytest.raises(ValueError):
+            emit_distributed(dist4.dplan, dist4.mesh, config, "magic")
+
+    def test_message_tasks_present(self, dist4, config):
+        graph = emit_distributed(dist4.dplan, dist4.mesh, config, "overlapped")
+        wires = [t for t in graph if t.name.endswith(".wire")]
+        assert wires
+        # Wire tasks sit on NIC pseudo-threads (beyond the compute threads).
+        compute_threads = dist4.dplan.ranks * config.threads_per_node
+        assert all(t.affinity >= compute_threads for t in wires)
+
+
+class TestOverlapClaim:
+    def test_overlapped_beats_blocking(self, dist4, config):
+        machine = config.cluster_machine(dist4.dplan.ranks)
+        tb = simulate(
+            emit_distributed(dist4.dplan, dist4.mesh, config, "blocking"),
+            machine,
+            machine.num_cores,
+        ).makespan
+        to = simulate(
+            emit_distributed(dist4.dplan, dist4.mesh, config, "overlapped"),
+            machine,
+            machine.num_cores,
+        ).makespan
+        assert to < tb
+
+    def test_gain_grows_with_comm_cost(self, dist4):
+        """Slower interconnect -> more to hide -> larger overlap gain."""
+        gains = []
+        for latency in (1.5, 30.0):
+            cfg = DistScheduleConfig(
+                threads_per_node=4, niter=2, comm=CommModel(latency=latency)
+            )
+            machine = cfg.cluster_machine(dist4.dplan.ranks)
+            tb = simulate(
+                emit_distributed(dist4.dplan, dist4.mesh, cfg, "blocking"),
+                machine,
+                machine.num_cores,
+            ).makespan
+            to = simulate(
+                emit_distributed(dist4.dplan, dist4.mesh, cfg, "overlapped"),
+                machine,
+                machine.num_cores,
+            ).makespan
+            gains.append(tb / to - 1.0)
+        assert gains[1] > gains[0]

@@ -1,0 +1,122 @@
+"""Tests for figure builders and claim checking, at reduced scale.
+
+These use a small mesh / thread sweep so they run in seconds; the
+paper-scale claims (5% / 21% at 32 threads) are exercised by the integration
+test and the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    FigureSeries,
+    fig15_exec_time,
+    fig16_foreach_chunking,
+    fig17_async,
+    fig18_dataflow,
+    fig19_weak_scaling,
+    render_figure,
+)
+from repro.experiments.report import ExperimentReport, claim_check
+
+SMALL = ExperimentConfig(ni=32, nj=12, niter=2, block_size=16, threads=(1, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def f15():
+    return fig15_exec_time(SMALL)
+
+
+@pytest.fixture(scope="module")
+def f17():
+    return fig17_async(SMALL)
+
+
+@pytest.fixture(scope="module")
+def f18():
+    return fig18_dataflow(SMALL)
+
+
+class TestFig15:
+    def test_four_series(self, f15):
+        assert set(f15.series) == {
+            "omp parallel for",
+            "for_each",
+            "async",
+            "dataflow",
+        }
+
+    def test_equal_at_one_thread(self, f15):
+        # Loose band at this tiny scale, where constant overheads are a
+        # visible share of the run; the integration test asserts <5% at the
+        # calibrated mesh size.
+        assert f15.notes["max_1thread_spread"] < 0.15
+
+    def test_time_decreases_with_threads(self, f15):
+        for xs, ys in f15.series.values():
+            assert ys[0] > ys[-1]
+
+
+class TestFig16:
+    def test_static_beats_auto(self):
+        fig = fig16_foreach_chunking(SMALL)
+        assert fig.notes["static_over_auto_at_max"] > 0
+
+
+class TestFig17And18:
+    def test_speedup_normalized_to_one(self, f17):
+        for xs, ys in f17.series.values():
+            assert ys[0] == pytest.approx(1.0)
+
+    def test_dataflow_beats_async_gain(self, f17, f18):
+        assert (
+            f18.notes["dataflow_gain_at_max"] >= f17.notes["async_gain_at_max"] - 0.02
+        )
+
+
+class TestFig19:
+    def test_weak_efficiency_starts_at_one(self):
+        cfg = ExperimentConfig(ni=16, nj=8, niter=1, block_size=16, threads=(1, 2, 4))
+        fig = fig19_weak_scaling(cfg)
+        for xs, ys in fig.series.values():
+            assert ys[0] == pytest.approx(1.0)
+            assert all(y <= 1.05 for y in ys)
+
+
+class TestRendering:
+    def test_render_contains_table_and_plot(self, f15):
+        out = render_figure(f15)
+        assert "fig15" in out
+        assert "threads" in out
+        assert "dataflow" in out
+
+    def test_render_without_plot(self, f15):
+        out = render_figure(f15, plot=False)
+        assert "y in [" not in out
+
+    def test_gain_helper_time_series(self, f15):
+        g = f15.gain("dataflow", "omp parallel for", f15.series["dataflow"][0][-1])
+        assert isinstance(g, float)
+
+    def test_gain_helper_speedup_series(self, f17):
+        g = f17.gain("async", "omp parallel for", f17.series["async"][0][-1])
+        assert g == pytest.approx(f17.notes["async_gain_at_max"])
+
+
+class TestClaimCheck:
+    def test_report_renders_markdown_table(self, f15, f17, f18):
+        report = claim_check(fig15=f15, fig17=f17, fig18=f18)
+        out = report.render()
+        assert out.startswith("| claim |")
+        assert len(report.checks) >= 3
+
+    def test_empty_report(self):
+        report = claim_check()
+        assert report.checks == []
+        assert report.all_hold
+
+    def test_manual_report(self):
+        r = ExperimentReport()
+        r.add("x", "1", "2", False)
+        assert not r.all_hold
+        assert "NO" in r.render()

@@ -1,0 +1,76 @@
+"""Tests for the experiment runner and config."""
+
+import pytest
+
+from repro.backends.costs import LoopCostModel
+from repro.experiments.config import DEFAULT_THREADS, ExperimentConfig, PAPER_CLAIMS
+from repro.experiments.runner import run_backend, simulate_backend, sweep
+from repro.sim.machine import paper_machine
+
+SMALL = ExperimentConfig(ni=16, nj=6, niter=2, block_size=16, threads=(1, 2, 4))
+
+
+class TestConfig:
+    def test_defaults_match_paper_setup(self):
+        cfg = ExperimentConfig()
+        assert cfg.machine.max_threads == 32
+        assert DEFAULT_THREADS[-1] == 32
+
+    def test_paper_claims_documented(self):
+        assert PAPER_CLAIMS["async_gain_at_32"] == pytest.approx(0.05)
+        assert PAPER_CLAIMS["dataflow_gain_at_32"] == pytest.approx(0.21)
+
+    def test_mesh_kwargs(self):
+        assert SMALL.mesh_kwargs() == {"ni": 16, "nj": 6}
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SMALL.niter = 10
+
+
+class TestRunBackend:
+    def test_functional_run_validates(self):
+        run = run_backend("openmp", SMALL)
+        assert run.validation
+        assert max(run.validation.values()) < 1e-9
+
+    def test_log_collected(self):
+        run = run_backend("openmp", SMALL)
+        assert len(run.log.loops()) == 2 * 9
+
+    def test_validation_skippable(self):
+        run = run_backend("seq", SMALL, validate=False)
+        assert run.validation == {}
+
+    def test_mesh_reused_when_given(self):
+        from repro.airfoil import generate_mesh
+
+        mesh = generate_mesh(ni=16, nj=6)
+        run = run_backend("seq", SMALL, mesh)
+        assert run.mesh is mesh
+
+
+class TestSimulateBackend:
+    def test_more_threads_faster(self):
+        run = run_backend("hpx_dataflow", SMALL)
+        cm = LoopCostModel(jitter=SMALL.cost_jitter)
+        t1 = simulate_backend(run, SMALL, 1, cm).makespan
+        t4 = simulate_backend(run, SMALL, 4, cm).makespan
+        assert t4 < t1
+
+    def test_trace_collection_optional(self):
+        run = run_backend("openmp", SMALL)
+        res = simulate_backend(run, SMALL, 2, trace=True)
+        assert res.trace.records
+
+    def test_default_cost_model_used(self):
+        run = run_backend("openmp", SMALL)
+        assert simulate_backend(run, SMALL, 2).makespan > 0
+
+
+class TestSweep:
+    def test_sweep_covers_configured_threads(self):
+        run, results = sweep("openmp", SMALL)
+        assert set(results) == set(SMALL.threads)
+        times = [results[p].makespan for p in SMALL.threads]
+        assert times[0] > times[-1]

@@ -1,0 +1,104 @@
+"""Tests for repro.hpx.dataflow."""
+
+import pytest
+
+from repro.hpx.dataflow import dataflow, unwrapped
+from repro.hpx.future import Future, make_ready_future
+from repro.hpx.runtime import async_
+
+
+class TestDataflowBasics:
+    def test_no_future_args_runs(self, hpx_rt):
+        fut = dataflow(lambda a, b: a + b, 1, 2)
+        assert fut.get() == 3
+
+    def test_future_args_passed_through_without_unwrapped(self, hpx_rt):
+        dep = make_ready_future(5, hpx_rt.executor)
+        fut = dataflow(lambda f: type(f).__name__, dep)
+        assert fut.get() == "Future"
+
+    def test_unwrapped_passes_values(self, hpx_rt):
+        dep = async_(lambda: 5)
+        fut = dataflow(unwrapped(lambda v, c: v * c), dep, 3)
+        assert fut.get() == 15
+
+    def test_delays_until_dependency_ready(self, hpx_rt):
+        log = []
+        dep = async_(lambda: log.append("producer"))
+        consumer = dataflow(unwrapped(lambda _: log.append("consumer")), dep)
+        consumer.get()
+        assert log == ["producer", "consumer"]
+
+    def test_mixed_future_and_plain_args(self, hpx_rt):
+        fut = dataflow(unwrapped(lambda a, b, c: (a, b, c)), 1, async_(lambda: 2), 3)
+        assert fut.get() == (1, 2, 3)
+
+    def test_result_future_unwrapped_one_level(self, hpx_rt):
+        inner = async_(lambda: "deep")
+        fut = dataflow(lambda: inner)
+        assert fut.get() == "deep"
+
+
+class TestDataflowChains:
+    def test_chain_executes_in_dependency_order(self, hpx_rt):
+        order = []
+
+        def step(name):
+            def run(*_):
+                order.append(name)
+                return name
+
+            return run
+
+        a = dataflow(step("a"))
+        b = dataflow(step("b"), a)
+        c = dataflow(step("c"), b)
+        assert c.get() == "c"
+        assert order == ["a", "b", "c"]
+
+    def test_diamond_dependencies(self, hpx_rt):
+        results = {}
+
+        def node(name):
+            def run(*deps):
+                results[name] = [d for d in deps]
+                return name
+
+            return run
+
+        top = dataflow(unwrapped(node("top")))
+        left = dataflow(unwrapped(node("left")), top)
+        right = dataflow(unwrapped(node("right")), top)
+        bottom = dataflow(unwrapped(node("bottom")), left, right)
+        assert bottom.get() == "bottom"
+        assert results["bottom"] == ["left", "right"]
+
+    def test_implicit_execution_tree(self, hpx_rt):
+        # Fig 14: data[t] built from data[t-1] without any explicit get().
+        value = make_ready_future(0, hpx_rt.executor)
+        for _ in range(10):
+            value = dataflow(unwrapped(lambda v: v + 1), value)
+        assert value.get() == 10
+
+
+class TestDataflowErrors:
+    def test_function_exception_stored(self, hpx_rt):
+        def bad():
+            raise RuntimeError("exploded")
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            dataflow(bad).get()
+
+    def test_dependency_failure_propagates(self, hpx_rt):
+        def bad():
+            raise ValueError("upstream")
+
+        called = []
+        dep = async_(bad)
+        fut = dataflow(unwrapped(lambda v: called.append(v)), dep)
+        with pytest.raises(ValueError, match="upstream"):
+            fut.get()
+        assert called == []
+
+    def test_returns_future_object(self, hpx_rt):
+        assert isinstance(dataflow(lambda: None), Future)

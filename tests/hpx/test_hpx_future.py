@@ -1,0 +1,153 @@
+"""Tests for repro.hpx.future."""
+
+import pytest
+
+from repro.hpx.executor import TaskExecutor
+from repro.hpx.future import Future, FutureError, make_ready_future, when_all
+
+
+class TestFutureBasics:
+    def test_starts_pending(self):
+        f = Future()
+        assert not f.is_ready()
+
+    def test_set_value_makes_ready(self):
+        f = Future()
+        f.set_value(42)
+        assert f.is_ready()
+        assert f.get() == 42
+
+    def test_double_set_raises(self):
+        f = Future()
+        f.set_value(1)
+        with pytest.raises(FutureError):
+            f.set_value(2)
+
+    def test_set_after_exception_raises(self):
+        f = Future()
+        f.set_exception(ValueError("boom"))
+        with pytest.raises(FutureError):
+            f.set_value(1)
+
+    def test_get_reraises_stored_exception(self):
+        f = Future()
+        f.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            f.get()
+
+    def test_get_pending_without_executor_raises(self):
+        f = Future()
+        with pytest.raises(FutureError, match="executor"):
+            f.get()
+
+    def test_make_ready_future(self):
+        f = make_ready_future("hello")
+        assert f.is_ready()
+        assert f.get() == "hello"
+
+    def test_none_is_a_valid_value(self):
+        f = make_ready_future(None)
+        assert f.is_ready()
+        assert f.get() is None
+
+
+class TestFutureGetDrivesExecutor:
+    def test_get_runs_pending_producer(self):
+        ex = TaskExecutor(2)
+        f = ex.submit(lambda: 7)
+        assert not f.is_ready()
+        assert f.get() == 7
+
+    def test_other_tasks_progress_while_waiting(self):
+        ex = TaskExecutor(2)
+        log = []
+        ex.post(lambda: log.append("a"))
+        f = ex.submit(lambda: log.append("b"))
+        f.get()
+        # The unrelated post also ran: waiting does not stall the world.
+        assert "a" in log and "b" in log
+
+    def test_exception_propagates_through_get(self):
+        ex = TaskExecutor(1)
+
+        def bad():
+            raise RuntimeError("kernel panic")
+
+        f = ex.submit(bad)
+        with pytest.raises(RuntimeError, match="kernel panic"):
+            f.get()
+
+
+class TestThen:
+    def test_then_chains_value(self):
+        ex = TaskExecutor(2)
+        f = ex.submit(lambda: 10)
+        g = f.then(lambda v: v + 1)
+        assert g.get() == 11
+
+    def test_then_on_ready_future(self):
+        ex = TaskExecutor(1)
+        f = ex.submit(lambda: 1)
+        f.get()
+        assert f.then(lambda v: v * 3).get() == 3
+
+    def test_then_propagates_failure_without_calling_fn(self):
+        ex = TaskExecutor(1)
+        calls = []
+
+        def bad():
+            raise ValueError("nope")
+
+        g = ex.submit(bad).then(lambda v: calls.append(v))
+        with pytest.raises(ValueError):
+            g.get()
+        assert calls == []
+
+    def test_then_requires_executor(self):
+        f = Future()
+        f.set_value(1)
+        with pytest.raises(FutureError):
+            f.then(lambda v: v)
+
+
+class TestWhenAll:
+    def test_preserves_input_order(self):
+        ex = TaskExecutor(3)
+        futures = [ex.submit(lambda i=i: i * i) for i in range(5)]
+        assert when_all(futures).get() == [0, 1, 4, 9, 16]
+
+    def test_empty_input_ready_immediately(self):
+        combined = when_all([])
+        assert combined.is_ready()
+        assert combined.get() == []
+
+    def test_failure_propagates(self):
+        ex = TaskExecutor(2)
+
+        def bad():
+            raise KeyError("missing")
+
+        combined = when_all([ex.submit(lambda: 1), ex.submit(bad)])
+        with pytest.raises(KeyError):
+            combined.get()
+
+    def test_first_failure_by_input_order_wins(self):
+        ex = TaskExecutor(1)
+
+        def bad(msg):
+            raise ValueError(msg)
+
+        combined = when_all(
+            [ex.submit(bad, "first"), ex.submit(bad, "second")]
+        )
+        with pytest.raises(ValueError, match="first"):
+            combined.get()
+
+    def test_already_ready_inputs(self):
+        combined = when_all([make_ready_future(1), make_ready_future(2)])
+        assert combined.get() == [1, 2]
+
+    def test_executor_inferred_from_inputs(self):
+        ex = TaskExecutor(2)
+        combined = when_all([ex.submit(lambda: 1)])
+        assert combined.get() == [1]

@@ -1,0 +1,66 @@
+"""Tests for repro.hpx.policies."""
+
+import pytest
+
+from repro.hpx.chunking import GuessChunkSize, StaticChunkSize
+from repro.hpx.policies import par, par_task, seq
+
+
+class TestPolicyValues:
+    def test_seq_not_parallel(self):
+        assert not seq.parallel and not seq.task
+
+    def test_par_is_parallel_sync(self):
+        assert par.parallel and not par.task
+
+    def test_par_task_is_parallel_async(self):
+        assert par_task.parallel and par_task.task
+
+    def test_par_call_task_flavor(self):
+        p = par("task")
+        assert p.parallel and p.task
+
+    def test_par_task_equals_par_called(self):
+        assert par("task").task == par_task.task
+        assert par("task").parallel == par_task.parallel
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            par("sync")
+
+    def test_seq_task_rejected(self):
+        with pytest.raises(ValueError):
+            seq("task")
+
+
+class TestWith:
+    def test_with_attaches_chunker(self):
+        scs = StaticChunkSize(8)
+        p = par.with_(scs)
+        assert p.chunker is scs
+
+    def test_with_returns_new_policy(self):
+        p = par.with_(StaticChunkSize(8))
+        assert par.chunker is None
+        assert p is not par
+
+    def test_with_rejects_non_chunker(self):
+        with pytest.raises(TypeError):
+            par.with_(42)
+
+    def test_effective_chunker_defaults_to_guess(self):
+        assert isinstance(par.effective_chunker(), GuessChunkSize)
+
+    def test_policies_are_immutable(self):
+        with pytest.raises(Exception):
+            par.task = True
+
+
+class TestDescribe:
+    def test_plain_names(self):
+        assert par.describe() == "par"
+        assert seq.describe() == "seq"
+        assert "task" in par_task.describe()
+
+    def test_with_chunker_named(self):
+        assert "static_chunk_size(8)" in par.with_(StaticChunkSize(8)).describe()

@@ -1,0 +1,113 @@
+"""Tests for access modes and argument descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import (
+    OP_INC,
+    OP_MAX,
+    OP_MIN,
+    OP_READ,
+    OP_RW,
+    OP_WRITE,
+    OP_ID,
+    OpDat,
+    OpGlobal,
+    OpMap,
+    OpSet,
+    op_arg_dat,
+    op_arg_gbl,
+)
+from repro.op2.access import Access
+from repro.op2.exceptions import AccessError, Op2Error
+
+
+class TestAccess:
+    def test_reads_classification(self):
+        assert OP_READ.reads and OP_RW.reads and OP_MIN.reads and OP_MAX.reads
+        assert not OP_WRITE.reads
+        assert not OP_INC.reads
+
+    def test_writes_classification(self):
+        assert OP_WRITE.writes and OP_RW.writes and OP_INC.writes
+        assert not OP_READ.writes
+
+    def test_reduction_classification(self):
+        assert OP_INC.is_reduction and OP_MIN.is_reduction and OP_MAX.is_reduction
+        assert not OP_READ.is_reduction and not OP_WRITE.is_reduction
+
+    def test_all_modes_enumerated(self):
+        assert len(Access) == 6
+
+
+class TestOpArgDat:
+    def setup_method(self):
+        self.edges = OpSet("edges", 3)
+        self.cells = OpSet("cells", 4)
+        self.dat = OpDat("q", self.cells, 2)
+        self.map = OpMap(
+            "e2c", self.edges, self.cells, 2, np.array([[0, 1], [1, 2], [2, 3]])
+        )
+
+    def test_direct_arg(self):
+        arg = op_arg_dat(self.dat, -1, OP_ID, OP_READ)
+        assert arg.is_direct and not arg.is_indirect and not arg.is_global
+
+    def test_indirect_arg(self):
+        arg = op_arg_dat(self.dat, 1, self.map, OP_INC)
+        assert arg.is_indirect and not arg.is_direct
+
+    def test_direct_requires_idx_minus_one(self):
+        with pytest.raises(Op2Error, match="idx=-1"):
+            op_arg_dat(self.dat, 0, OP_ID, OP_READ)
+
+    def test_indirect_index_bounds(self):
+        with pytest.raises(Op2Error):
+            op_arg_dat(self.dat, 2, self.map, OP_READ)
+        with pytest.raises(Op2Error):
+            op_arg_dat(self.dat, -1, self.map, OP_READ)
+
+    def test_map_target_set_must_match_dat_set(self):
+        nodes = OpSet("nodes", 9)
+        wrong_map = OpMap(
+            "e2n", self.edges, nodes, 2, np.array([[0, 1], [1, 2], [2, 3]])
+        )
+        with pytest.raises(Op2Error, match="lives on"):
+            op_arg_dat(self.dat, 0, wrong_map, OP_READ)
+
+    def test_non_dat_rejected(self):
+        with pytest.raises(Op2Error):
+            op_arg_dat(np.zeros(3), -1, OP_ID, OP_READ)
+
+    def test_non_access_rejected(self):
+        with pytest.raises(AccessError):
+            op_arg_dat(self.dat, -1, OP_ID, "read")
+
+    def test_describe_mentions_map(self):
+        arg = op_arg_dat(self.dat, 1, self.map, OP_READ)
+        assert "e2c[1]" in arg.describe()
+
+
+class TestOpArgGbl:
+    def test_read_and_reductions_allowed(self):
+        g = OpGlobal("rms", 1)
+        for mode in (OP_READ, OP_INC, OP_MIN, OP_MAX):
+            arg = op_arg_gbl(g, mode)
+            assert arg.is_global
+
+    def test_plain_write_rejected(self):
+        g = OpGlobal("rms", 1)
+        with pytest.raises(AccessError, match="racy"):
+            op_arg_gbl(g, OP_WRITE)
+        with pytest.raises(AccessError):
+            op_arg_gbl(g, OP_RW)
+
+    def test_non_global_rejected(self):
+        d = OpDat("q", OpSet("cells", 2), 1)
+        with pytest.raises(Op2Error):
+            op_arg_gbl(d, OP_READ)
+
+    def test_global_arg_not_direct_or_indirect(self):
+        arg = op_arg_gbl(OpGlobal("rms", 1), OP_INC)
+        assert not arg.is_direct
+        assert not arg.is_indirect

@@ -1,0 +1,166 @@
+"""Tests for the dataflow dependence tracker (repro.op2.deps)."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_READ,
+    OP_RW,
+    OP_WRITE,
+    OpDat,
+    OpGlobal,
+    OpSet,
+    op_arg_dat,
+    op_arg_gbl,
+)
+from repro.op2.deps import DatDependencyTracker
+
+
+@pytest.fixture()
+def dats():
+    cells = OpSet("cells", 4)
+    return {
+        "q": OpDat("q", cells, 1),
+        "qold": OpDat("qold", cells, 1),
+        "res": OpDat("res", cells, 1),
+    }
+
+
+def read(d):
+    return op_arg_dat(d, -1, OP_ID, OP_READ)
+
+
+def write(d):
+    return op_arg_dat(d, -1, OP_ID, OP_WRITE)
+
+
+def rw(d):
+    return op_arg_dat(d, -1, OP_ID, OP_RW)
+
+
+def inc(d):
+    return op_arg_dat(d, -1, OP_ID, OP_INC)
+
+
+class TestRawWarWaw:
+    def test_read_after_write(self, dats):
+        t = DatDependencyTracker()
+        assert t.dependencies([write(dats["q"])], token=1) == []
+        assert t.dependencies([read(dats["q"])], token=2) == [1]
+
+    def test_write_after_read(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([read(dats["q"])], token=1)
+        assert t.dependencies([write(dats["q"])], token=2) == [1]
+
+    def test_write_after_write(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"])], token=1)
+        assert t.dependencies([write(dats["q"])], token=2) == [1]
+
+    def test_read_after_read_independent(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"])], token=1)
+        t.dependencies([read(dats["q"])], token=2)
+        deps3 = t.dependencies([read(dats["q"])], token=3)
+        assert deps3 == [1]  # both readers depend on the writer, not each other
+
+    def test_untouched_dat_no_deps(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"])], token=1)
+        assert t.dependencies([read(dats["res"])], token=2) == []
+
+
+class TestIncrementSemantics:
+    def test_inc_after_inc_commutes(self, dats):
+        # res_calc and bres_calc both OP_INC res: they may overlap (paper).
+        t = DatDependencyTracker()
+        t.dependencies([inc(dats["res"])], token=1)
+        assert t.dependencies([inc(dats["res"])], token=2) == []
+
+    def test_read_after_incs_waits_for_all(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([inc(dats["res"])], token=1)
+        t.dependencies([inc(dats["res"])], token=2)
+        assert t.dependencies([read(dats["res"])], token=3) == [1, 2]
+
+    def test_inc_after_read_waits(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([read(dats["res"])], token=1)
+        assert t.dependencies([inc(dats["res"])], token=2) == [1]
+
+    def test_inc_after_write_waits(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["res"])], token=1)
+        assert t.dependencies([inc(dats["res"])], token=2) == [1]
+
+    def test_write_after_incs_waits_for_all(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([inc(dats["res"])], token=1)
+        t.dependencies([inc(dats["res"])], token=2)
+        assert sorted(t.dependencies([write(dats["res"])], token=3)) == [1, 2]
+
+    def test_write_resets_state(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([inc(dats["res"])], token=1)
+        t.dependencies([write(dats["res"])], token=2)
+        assert t.dependencies([read(dats["res"])], token=3) == [2]
+
+
+class TestMultiArgLoops:
+    def test_loop_touching_same_dat_twice_no_self_dep(self, dats):
+        # res_calc increments res through two map columns.
+        t = DatDependencyTracker()
+        deps = t.dependencies([inc(dats["res"]), inc(dats["res"])], token=1)
+        assert deps == []
+
+    def test_rw_counts_as_write(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([rw(dats["res"])], token=1)
+        assert t.dependencies([read(dats["res"])], token=2) == [1]
+
+    def test_airfoil_like_chain(self, dats):
+        # save(q->qold); update(qold,res->q): update depends on save via qold.
+        t = DatDependencyTracker()
+        t.dependencies([read(dats["q"]), write(dats["qold"])], token=1)  # save
+        t.dependencies([inc(dats["res"])], token=2)  # res_calc
+        deps = t.dependencies(
+            [read(dats["qold"]), write(dats["q"]), rw(dats["res"])], token=3
+        )  # update
+        assert set(deps) == {1, 2}
+
+    def test_duplicate_deps_removed(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"]), write(dats["res"])], token=1)
+        deps = t.dependencies([read(dats["q"]), read(dats["res"])], token=2)
+        assert deps == [1]
+
+
+class TestGlobals:
+    def test_global_inc_commutes(self):
+        t = DatDependencyTracker()
+        g = OpGlobal("rms", 1)
+        t.dependencies([op_arg_gbl(g, OP_INC)], token=1)
+        assert t.dependencies([op_arg_gbl(g, OP_INC)], token=2) == []
+
+    def test_global_read_after_inc_waits(self):
+        t = DatDependencyTracker()
+        g = OpGlobal("rms", 1)
+        t.dependencies([op_arg_gbl(g, OP_INC)], token=1)
+        assert t.dependencies([op_arg_gbl(g, OP_READ)], token=2) == [1]
+
+
+class TestOutstanding:
+    def test_outstanding_collects_live_tokens(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"])], token=1)
+        t.dependencies([inc(dats["res"])], token=2)
+        assert set(t.outstanding()) == {1, 2}
+
+    def test_reset_clears(self, dats):
+        t = DatDependencyTracker()
+        t.dependencies([write(dats["q"])], token=1)
+        t.reset()
+        assert t.outstanding() == []

@@ -1,0 +1,116 @@
+"""Tests for the OP2 problem/mesh archive format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.airfoil import AirfoilApp, ReferenceAirfoil, generate_mesh
+from repro.airfoil.validation import compare_states
+from repro.op2 import OpDat, OpMap, OpSet, op2_session
+from repro.op2.exceptions import Op2Error
+from repro.op2.io import load_mesh, load_problem, save_mesh, save_problem
+
+
+@pytest.fixture()
+def world():
+    cells = OpSet("cells", 6)
+    edges = OpSet("edges", 5)
+    m = OpMap(
+        "e2c", edges, cells, 2,
+        np.stack([np.arange(5), np.arange(5) + 1], axis=1),
+    )
+    d = OpDat("q", cells, 3, np.arange(18.0).reshape(6, 3))
+    return cells, edges, m, d
+
+
+class TestProblemRoundTrip:
+    def test_sets_maps_dats_survive(self, world, tmp_path):
+        cells, edges, m, d = world
+        path = tmp_path / "world.npz"
+        save_problem(path, [cells, edges], [m], [d])
+        sets, maps, dats = load_problem(path)
+        assert sets["cells"].size == 6
+        assert maps["e2c"].arity == 2
+        np.testing.assert_array_equal(maps["e2c"].values, m.values)
+        np.testing.assert_array_equal(dats["q"].data, d.data)
+
+    def test_in_memory_buffer(self, world):
+        cells, edges, m, d = world
+        buf = io.BytesIO()
+        save_problem(buf, [cells, edges], [m], [d])
+        buf.seek(0)
+        sets, maps, dats = load_problem(buf)
+        assert dats["q"].set == sets["cells"]
+
+    def test_integer_dtype_preserved(self, tmp_path):
+        s = OpSet("b", 4)
+        d = OpDat("tags", s, 1, np.array([1, 2, 1, 2]), dtype=np.int64)
+        path = tmp_path / "tags.npz"
+        save_problem(path, [s], [], [d])
+        _, _, dats = load_problem(path)
+        assert dats["tags"].data.dtype == np.int64
+
+    def test_map_over_unsaved_set_rejected(self, world, tmp_path):
+        cells, edges, m, d = world
+        with pytest.raises(Op2Error, match="not being saved"):
+            save_problem(tmp_path / "x.npz", [cells], [m], [])
+
+    def test_dat_over_unsaved_set_rejected(self, world, tmp_path):
+        cells, edges, m, d = world
+        with pytest.raises(Op2Error, match="unsaved set"):
+            save_problem(tmp_path / "x.npz", [edges], [], [d])
+
+    def test_duplicate_set_names_rejected(self, tmp_path):
+        with pytest.raises(Op2Error, match="duplicate"):
+            save_problem(tmp_path / "x.npz", [OpSet("a", 1), OpSet("a", 2)], [], [])
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(Op2Error, match="not an OP2 problem"):
+            load_problem(path)
+
+    def test_loaded_maps_revalidated(self, tmp_path):
+        # Corrupt archive: map points outside its target set.
+        payload = {
+            "__sets__": np.array(
+                [("a", 2), ("b", 2)], dtype=[("name", "U64"), ("size", "i8")]
+            ),
+            "map:bad": np.array([[0, 5], [1, 0]]),
+            "map:bad:meta": np.array(["a", "b"], dtype="U64"),
+        }
+        path = tmp_path / "bad.npz"
+        np.savez(path, **payload)
+        with pytest.raises(Exception):
+            load_problem(path)
+
+
+class TestMeshRoundTrip:
+    def test_mesh_survives(self, tmp_path):
+        mesh = generate_mesh(ni=16, nj=6)
+        path = tmp_path / "mesh.npz"
+        save_mesh(path, mesh)
+        loaded = load_mesh(path)
+        assert loaded.ni == 16 and loaded.nj == 6
+        np.testing.assert_array_equal(loaded.x.data, mesh.x.data)
+        np.testing.assert_array_equal(loaded.pecell.values, mesh.pecell.values)
+
+    def test_loaded_mesh_runs_airfoil(self, tmp_path):
+        mesh = generate_mesh(ni=16, nj=6)
+        path = tmp_path / "mesh.npz"
+        save_mesh(path, mesh)
+        loaded = load_mesh(path)
+        ref = ReferenceAirfoil(mesh)
+        ref.run(2)
+        with op2_session(backend="openmp", block_size=16) as rt:
+            app = AirfoilApp(loaded)
+            app.run(rt, 2)
+        compare_states(app, ref, tol=1e-12)
+
+    def test_non_mesh_archive_rejected(self, world, tmp_path):
+        cells, edges, m, d = world
+        path = tmp_path / "notmesh.npz"
+        save_problem(path, [cells, edges], [m], [d])
+        with pytest.raises(Op2Error, match="missing"):
+            load_mesh(path)

@@ -1,0 +1,54 @@
+"""Tests for repro.op2.kernel."""
+
+import pytest
+
+from repro.op2.kernel import Kernel, KernelCost
+from repro.op2.exceptions import KernelSignatureError
+from repro.util.validate import ValidationError
+
+
+class TestKernelCost:
+    def test_defaults_valid(self):
+        c = KernelCost()
+        assert c.unit_cost > 0
+        assert 0 <= c.mem_fraction <= 1
+
+    def test_invalid_unit_cost(self):
+        with pytest.raises(ValidationError):
+            KernelCost(unit_cost=0.0)
+
+    def test_invalid_mem_fraction(self):
+        with pytest.raises(ValidationError):
+            KernelCost(mem_fraction=1.2)
+
+
+class TestKernel:
+    def test_arity_inferred(self):
+        k = Kernel("k", lambda a, b, c: None)
+        k.check_arity(3)
+        with pytest.raises(KernelSignatureError):
+            k.check_arity(2)
+
+    def test_varargs_kernel_accepts_any_arity(self):
+        k = Kernel("k", lambda *args: None)
+        k.check_arity(0)
+        k.check_arity(7)
+
+    def test_has_vectorized(self):
+        assert not Kernel("k", lambda a: None).has_vectorized
+        assert Kernel("k", lambda a: None, lambda a: None).has_vectorized
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KernelSignatureError):
+            Kernel("", lambda a: None)
+
+    def test_default_cost_attached(self):
+        assert isinstance(Kernel("k", lambda a: None).cost, KernelCost)
+
+    def test_custom_cost(self):
+        c = KernelCost(0.5, 0.2)
+        assert Kernel("k", lambda a: None, cost=c).cost is c
+
+    def test_repr_mentions_vectorization(self):
+        assert "+vec" in repr(Kernel("k", lambda a: None, lambda a: None))
+        assert "+vec" not in repr(Kernel("k", lambda a: None))

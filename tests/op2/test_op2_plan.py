@@ -1,0 +1,132 @@
+"""Tests for execution-plan construction and caching."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import OP_ID, OP_INC, OP_READ, OP_WRITE, OpDat, OpMap, OpSet, op_arg_dat
+from repro.op2.exceptions import PlanError
+from repro.op2.plan import PlanCache, build_plan
+
+
+@pytest.fixture()
+def ring():
+    """A ring of edges incrementing into cells: forces coloring."""
+    n = 16
+    edges = OpSet("edges", n)
+    cells = OpSet("cells", n)
+    vals = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    e2c = OpMap("e2c", edges, cells, 2, vals)
+    res = OpDat("res", cells, 1)
+    return edges, cells, e2c, res
+
+
+class TestDirectPlan:
+    def test_single_color(self):
+        cells = OpSet("cells", 20)
+        q = OpDat("q", cells, 1)
+        plan = build_plan(cells, [op_arg_dat(q, -1, OP_ID, OP_WRITE)], block_size=6)
+        assert plan.ncolors == 1
+        assert not plan.colored
+        assert plan.nblocks == 4
+
+    def test_indirect_read_only_needs_no_coloring(self, ring):
+        edges, cells, e2c, res = ring
+        plan = build_plan(
+            edges, [op_arg_dat(res, 0, e2c, OP_READ)], block_size=4
+        )
+        assert plan.ncolors == 1
+
+    def test_empty_set(self):
+        s = OpSet("empty", 0)
+        plan = build_plan(s, [], block_size=4)
+        assert plan.nblocks == 0
+        assert plan.ncolors == 0
+
+
+class TestColoredPlan:
+    def test_adjacent_blocks_get_different_colors(self, ring):
+        edges, cells, e2c, res = ring
+        args = [
+            op_arg_dat(res, 0, e2c, OP_INC),
+            op_arg_dat(res, 1, e2c, OP_INC),
+        ]
+        plan = build_plan(edges, args, block_size=4)
+        assert plan.colored
+        assert plan.ncolors >= 2
+        # Ring of 4 blocks: neighbours conflict via the shared wrap cells.
+        assert plan.colors[0] != plan.colors[1]
+
+    def test_no_color_class_has_conflicts(self, ring):
+        edges, cells, e2c, res = ring
+        args = [
+            op_arg_dat(res, 0, e2c, OP_INC),
+            op_arg_dat(res, 1, e2c, OP_INC),
+        ]
+        plan = build_plan(edges, args, block_size=4)
+        for cls in plan.classes:
+            touched: set[int] = set()
+            for b in cls:
+                blk = plan.blocks[b]
+                targets = set(e2c.values[blk.start : blk.stop].ravel().tolist())
+                assert not (touched & targets), "conflicting blocks share a color"
+                touched |= targets
+
+    def test_classes_partition_blocks(self, ring):
+        edges, cells, e2c, res = ring
+        plan = build_plan(
+            edges,
+            [op_arg_dat(res, 0, e2c, OP_INC), op_arg_dat(res, 1, e2c, OP_INC)],
+            block_size=4,
+        )
+        all_blocks = sorted(b for cls in plan.classes for b in cls)
+        assert all_blocks == list(range(plan.nblocks))
+
+    def test_block_elements(self, ring):
+        edges, cells, e2c, res = ring
+        plan = build_plan(edges, [op_arg_dat(res, 0, e2c, OP_INC)], block_size=5)
+        np.testing.assert_array_equal(plan.block_elements(1), np.arange(5, 10))
+
+    def test_invalid_block_size(self, ring):
+        edges, cells, e2c, res = ring
+        with pytest.raises(PlanError):
+            build_plan(edges, [], block_size=0)
+
+    def test_describe(self, ring):
+        edges, cells, e2c, res = ring
+        plan = build_plan(edges, [op_arg_dat(res, 0, e2c, OP_INC)], block_size=4)
+        assert "edges" in plan.describe()
+
+
+class TestPlanCache:
+    def test_cache_hit_for_same_shape(self, ring):
+        edges, cells, e2c, res = ring
+        cache = PlanCache()
+        args = [op_arg_dat(res, 0, e2c, OP_INC)]
+        p1 = cache.get(edges, args, 4)
+        p2 = cache.get(edges, args, 4)
+        assert p1 is p2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_block_size_misses(self, ring):
+        edges, cells, e2c, res = ring
+        cache = PlanCache()
+        args = [op_arg_dat(res, 0, e2c, OP_INC)]
+        cache.get(edges, args, 4)
+        cache.get(edges, args, 8)
+        assert cache.misses == 2
+
+    def test_access_pattern_differentiates(self, ring):
+        edges, cells, e2c, res = ring
+        cache = PlanCache()
+        cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
+        cache.get(edges, [op_arg_dat(res, 0, e2c, OP_READ)], 4)
+        # READ pattern needs no coloring: different plan key.
+        assert len(cache) == 2
+
+    def test_loops_sharing_shape_share_plan(self, ring):
+        edges, cells, e2c, res = ring
+        other = OpDat("res2", cells, 1)
+        cache = PlanCache()
+        p1 = cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
+        p2 = cache.get(edges, [op_arg_dat(other, 0, e2c, OP_INC)], 4)
+        assert p1 is p2  # same (set, map, idx) reduction pattern

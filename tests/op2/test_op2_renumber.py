@@ -1,0 +1,123 @@
+"""Tests for RCM renumbering."""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import AirfoilApp, ReferenceAirfoil, generate_mesh
+from repro.airfoil.validation import max_rel_diff
+from repro.op2 import op2_session
+from repro.op2.exceptions import Op2Error
+from repro.op2.renumber import bandwidth, dual_graph_csr, rcm_order, renumber_mesh
+
+
+def path_graph(n):
+    """CSR of a simple path 0-1-2-...-n-1."""
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    return dual_graph_csr(edges, n)
+
+
+class TestDualGraph:
+    def test_path_degrees(self):
+        indptr, indices = path_graph(5)
+        degrees = np.diff(indptr)
+        np.testing.assert_array_equal(degrees, [1, 2, 2, 2, 1])
+
+    def test_symmetry(self):
+        mesh = generate_mesh(ni=16, nj=6)
+        indptr, indices = dual_graph_csr(mesh.pecell.values, mesh.cells.size)
+        # Every (v, u) arc has its (u, v) counterpart.
+        pairs = set()
+        for v in range(mesh.cells.size):
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                pairs.add((v, int(u)))
+        assert all((u, v) in pairs for (v, u) in pairs)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(Op2Error):
+            dual_graph_csr(np.zeros((3, 3), dtype=int), 4)
+
+
+class TestRcmOrder:
+    def test_is_permutation(self):
+        indptr, indices = path_graph(10)
+        perm = rcm_order(indptr, indices)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_path_is_optimally_banded(self):
+        indptr, indices = path_graph(20)
+        perm = rcm_order(indptr, indices)
+        assert bandwidth(indptr, indices, perm) == 1
+
+    def test_reduces_bandwidth_on_shuffled_path(self):
+        n = 40
+        rng = np.random.default_rng(3)
+        relabel = rng.permutation(n)
+        edges = np.stack(
+            [relabel[np.arange(n - 1)], relabel[np.arange(1, n)]], axis=1
+        )
+        indptr, indices = dual_graph_csr(edges, n)
+        before = bandwidth(indptr, indices)
+        after = bandwidth(indptr, indices, rcm_order(indptr, indices))
+        assert after <= before
+        assert after == 1  # a path always renumbers to bandwidth 1
+
+    def test_handles_disconnected_graphs(self):
+        # Two disjoint paths.
+        edges = np.array([[0, 1], [2, 3]])
+        indptr, indices = dual_graph_csr(edges, 4)
+        perm = rcm_order(indptr, indices)
+        assert sorted(perm.tolist()) == [0, 1, 2, 3]
+
+    def test_mesh_bandwidth_improves_or_holds(self):
+        mesh = generate_mesh(ni=24, nj=10)
+        indptr, indices = dual_graph_csr(mesh.pecell.values, mesh.cells.size)
+        before = bandwidth(indptr, indices)
+        after = bandwidth(indptr, indices, rcm_order(indptr, indices))
+        assert after <= before
+
+
+class TestRenumberMesh:
+    def test_numerics_invariant(self):
+        mesh = generate_mesh(ni=24, nj=10)
+        ref = ReferenceAirfoil(mesh)
+        ref.run(3)
+        renumbered = renumber_mesh(mesh)
+        with op2_session(backend="openmp", block_size=32) as rt:
+            app = AirfoilApp(renumbered)
+            result = app.run(rt, 3)
+        # Same physics in a different numbering: compare invariants.
+        assert result.rms_total == pytest.approx(ref.rms, rel=1e-10)
+        assert result.q_norm == pytest.approx(
+            float(np.sqrt(np.sum(ref.q**2))), rel=1e-10
+        )
+
+    def test_topology_preserved(self):
+        mesh = generate_mesh(ni=16, nj=6)
+        renumbered = renumber_mesh(mesh)
+        assert renumbered.cells.size == mesh.cells.size
+        assert renumbered.edges.size == mesh.edges.size
+        # Each cell still has exactly 4 faces.
+        face_count = np.bincount(
+            renumbered.pecell.values.ravel(), minlength=renumbered.cells.size
+        )
+        face_count += np.bincount(
+            renumbered.pbecell.values.ravel(), minlength=renumbered.cells.size
+        )
+        assert np.all(face_count == 4)
+
+    def test_plan_colors_not_worse(self):
+        from repro.op2 import OP_INC, OpDat, op_arg_dat
+        from repro.op2.plan import build_plan
+
+        mesh = generate_mesh(ni=48, nj=24)
+        renumbered = renumber_mesh(mesh)
+
+        def ncolors(m):
+            res = OpDat("res", m.cells, 4)
+            args = [
+                op_arg_dat(res, 0, m.pecell, OP_INC),
+                op_arg_dat(res, 1, m.pecell, OP_INC),
+            ]
+            return build_plan(m.edges, args, block_size=128).ncolors
+
+        assert ncolors(renumbered) <= ncolors(mesh) + 1

@@ -1,0 +1,162 @@
+"""Tests for OpSet, OpMap, OpDat, OpGlobal."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import OpDat, OpGlobal, OpMap, OpSet
+from repro.op2.exceptions import MapBoundsError, Op2Error
+from repro.op2.set_ import op_decl_set
+from repro.op2.map_ import op_decl_map
+from repro.op2.dat import op_decl_dat
+
+
+class TestOpSet:
+    def test_size_and_len(self):
+        s = OpSet("cells", 10)
+        assert len(s) == 10
+        assert s.size == 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(Op2Error):
+            OpSet("cells", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(Op2Error):
+            OpSet("", 5)
+
+    def test_equality_by_name_and_size(self):
+        assert OpSet("a", 3) == OpSet("a", 3)
+        assert OpSet("a", 3) != OpSet("a", 4)
+        assert OpSet("a", 3) != OpSet("b", 3)
+
+    def test_hashable(self):
+        assert len({OpSet("a", 3), OpSet("a", 3)}) == 1
+
+    def test_decl_spelling(self):
+        s = op_decl_set(7, "nodes")
+        assert s.name == "nodes" and s.size == 7
+
+
+class TestOpMap:
+    def setup_method(self):
+        self.edges = OpSet("edges", 3)
+        self.nodes = OpSet("nodes", 4)
+
+    def test_valid_map(self):
+        vals = np.array([[0, 1], [1, 2], [2, 3]])
+        m = OpMap("e2n", self.edges, self.nodes, 2, vals)
+        assert m.arity == 2
+        assert m.values.dtype == np.int64
+
+    def test_out_of_bounds_rejected(self):
+        vals = np.array([[0, 1], [1, 4], [2, 3]])  # 4 >= nodes.size
+        with pytest.raises(MapBoundsError):
+            OpMap("e2n", self.edges, self.nodes, 2, vals)
+
+    def test_negative_entry_rejected(self):
+        vals = np.array([[0, 1], [-1, 2], [2, 3]])
+        with pytest.raises(MapBoundsError):
+            OpMap("e2n", self.edges, self.nodes, 2, vals)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(Op2Error):
+            OpMap("e2n", self.edges, self.nodes, 2, np.zeros((3, 3), dtype=int))
+
+    def test_values_read_only(self):
+        vals = np.array([[0, 1], [1, 2], [2, 3]])
+        m = OpMap("e2n", self.edges, self.nodes, 2, vals)
+        with pytest.raises(ValueError):
+            m.values[0, 0] = 5
+
+    def test_targets_column(self):
+        vals = np.array([[0, 1], [1, 2], [2, 3]])
+        m = OpMap("e2n", self.edges, self.nodes, 2, vals)
+        np.testing.assert_array_equal(
+            m.targets(np.array([0, 2]), 1), np.array([1, 3])
+        )
+
+    def test_targets_bad_index(self):
+        vals = np.array([[0, 1], [1, 2], [2, 3]])
+        m = OpMap("e2n", self.edges, self.nodes, 2, vals)
+        with pytest.raises(Op2Error):
+            m.targets(np.array([0]), 2)
+
+    def test_empty_from_set(self):
+        empty = OpSet("none", 0)
+        m = op_decl_map(empty, self.nodes, 2, np.zeros((0, 2), dtype=int), "m")
+        assert m.values.shape == (0, 2)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(Op2Error):
+            OpMap("m", self.edges, self.nodes, 0, np.zeros((3, 0), dtype=int))
+
+
+class TestOpDat:
+    def setup_method(self):
+        self.cells = OpSet("cells", 5)
+
+    def test_default_zero_data(self):
+        d = OpDat("q", self.cells, 4)
+        assert d.data.shape == (5, 4)
+        assert np.all(d.data == 0)
+
+    def test_data_shape_enforced(self):
+        with pytest.raises(Op2Error):
+            OpDat("q", self.cells, 4, np.zeros((5, 3)))
+
+    def test_1d_data_promoted_for_dim1(self):
+        d = OpDat("adt", self.cells, 1, np.arange(5.0))
+        assert d.data.shape == (5, 1)
+
+    def test_version_bumps(self):
+        d = OpDat("q", self.cells, 1)
+        assert d.version == 0
+        assert d.bump_version() == 1
+        assert d.version == 1
+
+    def test_copy_is_independent(self):
+        d = OpDat("q", self.cells, 1)
+        snap = d.copy_data()
+        d.data[0, 0] = 42.0
+        assert snap[0, 0] == 0.0
+
+    def test_norm(self):
+        d = OpDat("q", self.cells, 1, np.full(5, 2.0))
+        assert d.norm() == pytest.approx(np.sqrt(20.0))
+
+    def test_integer_dtype_supported(self):
+        d = OpDat("bound", self.cells, 1, np.ones(5, dtype=np.int64), dtype=np.int64)
+        assert d.data.dtype == np.int64
+
+    def test_decl_spelling(self):
+        d = op_decl_dat(self.cells, 2, None, "x")
+        assert d.name == "x" and d.dim == 2
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(Op2Error):
+            OpDat("q", self.cells, 0)
+
+
+class TestOpGlobal:
+    def test_scalar_value(self):
+        g = OpGlobal("rms", 1)
+        assert g.value() == 0.0
+
+    def test_vector_value_is_copy(self):
+        g = OpGlobal("qinf", 4, np.arange(4.0))
+        v = g.value()
+        v[0] = 99.0
+        assert g.data[0] == 0.0
+
+    def test_scalar_init(self):
+        g = OpGlobal("alpha", 1, 3.0)
+        assert g.value() == 3.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(Op2Error):
+            OpGlobal("qinf", 4, np.arange(3.0))
+
+    def test_reset(self):
+        g = OpGlobal("rms", 1, 5.0)
+        g.reset()
+        assert g.value() == 0.0

@@ -1,0 +1,88 @@
+"""Property-based tests: coloring and plan invariants on random meshes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.op2 import OP_INC, OpDat, OpMap, OpSet, op_arg_dat
+from repro.op2.coloring import (
+    build_block_conflicts,
+    color_classes,
+    degree_coloring,
+    greedy_coloring,
+    validate_coloring,
+)
+from repro.op2.partition import contiguous_blocks, validate_blocks
+from repro.op2.plan import build_plan
+
+
+@st.composite
+def random_map_world(draw):
+    """A random (from_set, to_set, arity-2 map) triple."""
+    nfrom = draw(st.integers(1, 120))
+    nto = draw(st.integers(1, 60))
+    arity = draw(st.integers(1, 3))
+    values = draw(
+        st.lists(
+            st.lists(st.integers(0, nto - 1), min_size=arity, max_size=arity),
+            min_size=nfrom,
+            max_size=nfrom,
+        )
+    )
+    from_set = OpSet("from", nfrom)
+    to_set = OpSet("to", nto)
+    m = OpMap("m", from_set, to_set, arity, np.array(values, dtype=np.int64))
+    return from_set, to_set, m
+
+
+@given(random_map_world(), st.integers(1, 32))
+def test_plan_color_classes_are_conflict_free(world, block_size):
+    from_set, to_set, m = world
+    dat = OpDat("d", to_set, 1)
+    args = [op_arg_dat(dat, i, m, OP_INC) for i in range(m.arity)]
+    plan = build_plan(from_set, args, block_size=block_size)
+
+    # Invariant 1: blocks tile the set.
+    validate_blocks(plan.blocks, from_set.size)
+    # Invariant 2: classes partition the blocks.
+    assert sorted(b for cls in plan.classes for b in cls) == list(range(plan.nblocks))
+    # Invariant 3: within a color, no two blocks touch a common target.
+    for cls in plan.classes:
+        seen: set[int] = set()
+        for b in cls:
+            blk = plan.blocks[b]
+            targets = set(m.values[blk.start : blk.stop].ravel().tolist())
+            assert not (seen & targets)
+            seen |= targets
+
+
+@given(random_map_world(), st.integers(1, 16))
+def test_greedy_and_degree_colorings_both_proper(world, block_size):
+    from_set, to_set, m = world
+    blocks = contiguous_blocks(from_set.size, block_size)
+    targets = [
+        np.unique(m.values[b.start : b.stop].ravel()) for b in blocks
+    ]
+    adj = build_block_conflicts(targets)
+    for colors in (greedy_coloring(adj), degree_coloring(adj)):
+        validate_coloring(adj, colors)
+        classes = color_classes(colors)
+        assert sorted(b for cls in classes for b in cls) == list(range(len(adj)))
+
+
+@given(random_map_world(), st.integers(1, 16))
+def test_color_count_bounded_by_max_degree_plus_one(world, block_size):
+    from_set, to_set, m = world
+    blocks = contiguous_blocks(from_set.size, block_size)
+    targets = [np.unique(m.values[b.start : b.stop].ravel()) for b in blocks]
+    adj = build_block_conflicts(targets)
+    colors = greedy_coloring(adj)
+    max_degree = max((len(a) for a in adj), default=0)
+    assert max(colors, default=-1) + 1 <= max_degree + 1
+
+
+@given(st.integers(0, 500), st.integers(1, 64))
+def test_contiguous_blocks_always_tile(n, block_size):
+    blocks = contiguous_blocks(n, block_size)
+    validate_blocks(blocks, n)
+    assert all(0 < len(b) <= block_size for b in blocks)

@@ -1,0 +1,118 @@
+"""Property-based tests: dependence-tracker serializability and future algebra."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.hpx.executor import TaskExecutor
+from repro.hpx.future import when_all
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_READ,
+    OP_RW,
+    OP_WRITE,
+    OpDat,
+    OpSet,
+    op_arg_dat,
+)
+from repro.op2.access import Access
+from repro.op2.deps import DatDependencyTracker
+
+ACCESSES = [OP_READ, OP_WRITE, OP_RW, OP_INC]
+
+
+@st.composite
+def access_program(draw):
+    """A random program: each loop touches a random subset of 3 dats."""
+    cells = OpSet("cells", 4)
+    dats = [OpDat(f"d{i}", cells, 1) for i in range(3)]
+    nloops = draw(st.integers(1, 12))
+    program = []
+    for _ in range(nloops):
+        nargs = draw(st.integers(1, 3))
+        picks = draw(
+            st.lists(st.integers(0, 2), min_size=nargs, max_size=nargs, unique=True)
+        )
+        args = [
+            op_arg_dat(dats[p], -1, OP_ID, draw(st.sampled_from(ACCESSES)))
+            for p in picks
+        ]
+        program.append(args)
+    return dats, program
+
+
+def strongest(accesses):
+    if any(a in (Access.WRITE, Access.RW) for a in accesses):
+        return "write"
+    if any(a.is_reduction for a in accesses):
+        return "inc"
+    return "read"
+
+
+@given(access_program())
+def test_conflicting_loops_are_always_ordered(prog):
+    """Any two loops with a non-commuting conflict on a dat must be ordered
+    (directly or transitively) by the tracker's dependence edges."""
+    dats, program = prog
+    tracker = DatDependencyTracker()
+    edges: dict[int, set[int]] = {}
+    per_loop_access: list[dict[int, str]] = []
+    for token, args in enumerate(program):
+        deps = tracker.dependencies(args, token=token)
+        edges[token] = set(deps)
+        acc: dict[int, list] = {}
+        for a in args:
+            acc.setdefault(id(a.dat), []).append(a.access)
+        per_loop_access.append({k: strongest(v) for k, v in acc.items()})
+
+    # Transitive closure of predecessor sets.
+    reach: dict[int, set[int]] = {}
+    for t in range(len(program)):
+        r = set(edges[t])
+        for d in edges[t]:
+            r |= reach[d]
+        reach[t] = r
+
+    def conflicts(a: str, b: str) -> bool:
+        if a == "read" and b == "read":
+            return False
+        if a == "inc" and b == "inc":
+            return False  # increments commute
+        return True
+
+    for i in range(len(program)):
+        for j in range(i + 1, len(program)):
+            shared = set(per_loop_access[i]) & set(per_loop_access[j])
+            for dat_id in shared:
+                if conflicts(per_loop_access[i][dat_id], per_loop_access[j][dat_id]):
+                    assert i in reach[j], (
+                        f"loops {i} and {j} conflict on a dat but are unordered"
+                    )
+
+
+@given(access_program())
+def test_dependencies_only_point_backwards(prog):
+    dats, program = prog
+    tracker = DatDependencyTracker()
+    for token, args in enumerate(program):
+        deps = tracker.dependencies(args, token=token)
+        assert all(d < token for d in deps)
+        assert len(deps) == len(set(deps))
+
+
+@given(st.lists(st.integers(-100, 100), min_size=0, max_size=30))
+def test_when_all_preserves_values_and_order(values):
+    ex = TaskExecutor(3)
+    futures = [ex.submit(lambda v=v: v) for v in values]
+    assert when_all(futures, ex).get() == values
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=20), st.integers(1, 8))
+def test_executor_executes_everything_once(values, workers):
+    ex = TaskExecutor(workers)
+    log = []
+    for v in values:
+        ex.post(lambda v=v: log.append(v))
+    ex.drain()
+    assert sorted(log) == sorted(values)
+    assert ex.stats.tasks_executed == len(values)

@@ -1,0 +1,127 @@
+"""Property-based tests: archive round-trips and codegen idempotence."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import translate_source
+from repro.codegen.parser import parse_loops, rewrite_calls
+from repro.op2 import OpDat, OpMap, OpSet
+from repro.op2.io import load_problem, save_problem
+
+ACCESSES = ["OP_READ", "OP_WRITE", "OP_RW", "OP_INC"]
+
+
+@st.composite
+def random_world(draw):
+    nsets = draw(st.integers(1, 3))
+    sets = [OpSet(f"s{i}", draw(st.integers(1, 20))) for i in range(nsets)]
+    maps = []
+    for j in range(draw(st.integers(0, 3))):
+        frm = draw(st.sampled_from(sets))
+        to = draw(st.sampled_from(sets))
+        arity = draw(st.integers(1, 3))
+        values = draw(
+            st.lists(
+                st.lists(st.integers(0, to.size - 1), min_size=arity, max_size=arity),
+                min_size=frm.size,
+                max_size=frm.size,
+            )
+        )
+        maps.append(OpMap(f"m{j}", frm, to, arity, np.array(values, dtype=np.int64)))
+    dats = []
+    for j in range(draw(st.integers(0, 3))):
+        s = draw(st.sampled_from(sets))
+        dim = draw(st.integers(1, 4))
+        data = draw(
+            st.lists(
+                st.lists(
+                    st.floats(-1e6, 1e6, allow_nan=False),
+                    min_size=dim,
+                    max_size=dim,
+                ),
+                min_size=s.size,
+                max_size=s.size,
+            )
+        )
+        dats.append(OpDat(f"d{j}", s, dim, np.array(data)))
+    return sets, maps, dats
+
+
+@settings(max_examples=20)
+@given(random_world())
+def test_problem_archive_round_trip(world):
+    sets, maps, dats = world
+    buf = io.BytesIO()
+    save_problem(buf, sets, maps, dats)
+    buf.seek(0)
+    rsets, rmaps, rdats = load_problem(buf)
+    assert {s.name: s.size for s in sets} == {
+        name: s.size for name, s in rsets.items()
+    }
+    for m in maps:
+        np.testing.assert_array_equal(rmaps[m.name].values, m.values)
+        assert rmaps[m.name].from_set.name == m.from_set.name
+    for d in dats:
+        np.testing.assert_array_equal(rdats[d.name].data, d.data)
+
+
+@st.composite
+def random_loop_source(draw):
+    """Source text with 1..4 well-formed op_par_loop call sites."""
+    nloops = draw(st.integers(1, 4))
+    lines = []
+    names = []
+    for i in range(nloops):
+        name = f"loop{draw(st.integers(0, 2))}"
+        nargs = draw(st.integers(1, 4))
+        args = []
+        for a in range(nargs):
+            if draw(st.booleans()):
+                args.append(
+                    f"op_arg_dat(ctx.d{a}, -1, OP_ID, "
+                    f"{draw(st.sampled_from(ACCESSES))})"
+                )
+            else:
+                idx = draw(st.integers(0, 2))
+                args.append(
+                    f"op_arg_dat(ctx.d{a}, {idx}, ctx.m, "
+                    f"{draw(st.sampled_from(ACCESSES))})"
+                )
+        # Keep repeated names signature-consistent: suffix by arg count.
+        name = f"{name}_{nargs}"
+        names.append(name)
+        lines.append(
+            f'op_par_loop(ctx.k, "{name}", ctx.s, ' + ", ".join(args) + ")"
+        )
+    return "\n".join(lines), names
+
+
+@settings(max_examples=25)
+@given(random_loop_source())
+def test_parser_finds_every_loop(src_names):
+    source, names = src_names
+    loops = parse_loops(source)
+    assert [l.name for l in loops] == names
+
+
+@settings(max_examples=25)
+@given(random_loop_source())
+def test_rewrite_is_idempotent(src_names):
+    source, _ = src_names
+    once = rewrite_calls(source)
+    twice = rewrite_calls(once)
+    assert once == twice
+
+
+@settings(max_examples=15)
+@given(random_loop_source(), st.sampled_from(["seq", "openmp", "hpx_dataflow"]))
+def test_translation_always_produces_valid_python(src_names, target):
+    import ast
+
+    source, names = src_names
+    text, loops = translate_source(source, target)
+    ast.parse(text)
+    for name in set(names):
+        assert f"def op_par_loop_{name}(" in text

@@ -1,0 +1,140 @@
+"""Property-based tests: mesh invariants and gather/scatter correctness."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.airfoil import generate_mesh
+from repro.backends.base import execute_loop, execute_loop_by_plan
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_READ,
+    Kernel,
+    OpDat,
+    OpMap,
+    OpSet,
+    op_arg_dat,
+)
+from repro.op2.parloop import ParLoop
+from repro.op2.plan import build_plan
+
+mesh_dims = st.tuples(
+    st.integers(4, 20).map(lambda k: 2 * k),  # even ni in [8, 40]
+    st.integers(2, 12),
+)
+
+
+@settings(max_examples=15)
+@given(mesh_dims)
+def test_mesh_euler_characteristic(dims):
+    """V - E + F = 0 for the O-mesh annulus (Euler characteristic of an
+    annulus is 0), counting boundary edges and both faces of nothing."""
+    ni, nj = dims
+    mesh = generate_mesh(ni=ni, nj=nj)
+    V = mesh.nodes.size
+    E = mesh.edges.size + mesh.bedges.size
+    F = mesh.cells.size
+    assert V - E + F == 0
+
+
+@settings(max_examples=15)
+@given(mesh_dims)
+def test_mesh_positively_oriented_everywhere(dims):
+    ni, nj = dims
+    mesh = generate_mesh(ni=ni, nj=nj)
+    x = mesh.x.data
+    pc = mesh.pcell.values
+    areas = np.zeros(mesh.cells.size)
+    for a, b in ((0, 1), (1, 2), (2, 3), (3, 0)):
+        areas += x[pc[:, a], 0] * x[pc[:, b], 1] - x[pc[:, b], 0] * x[pc[:, a], 1]
+    assert np.all(areas > 0)
+
+
+@settings(max_examples=15)
+@given(mesh_dims)
+def test_mesh_face_vectors_close(dims):
+    ni, nj = dims
+    mesh = generate_mesh(ni=ni, nj=nj)
+    x = mesh.x.data
+    net = np.zeros((mesh.cells.size, 2))
+    d = x[mesh.pedge.values[:, 0]] - x[mesh.pedge.values[:, 1]]
+    np.add.at(net, mesh.pecell.values[:, 0], d)
+    np.add.at(net, mesh.pecell.values[:, 1], -d)
+    db = x[mesh.pbedge.values[:, 0]] - x[mesh.pbedge.values[:, 1]]
+    np.add.at(net, mesh.pbecell.values[:, 0], db)
+    assert np.max(np.abs(net)) < 1e-10
+
+
+@st.composite
+def scatter_world(draw):
+    nfrom = draw(st.integers(1, 60))
+    nto = draw(st.integers(1, 30))
+    col0 = draw(st.lists(st.integers(0, nto - 1), min_size=nfrom, max_size=nfrom))
+    col1 = draw(st.lists(st.integers(0, nto - 1), min_size=nfrom, max_size=nfrom))
+    weights = draw(
+        st.lists(
+            st.floats(-5, 5, allow_nan=False), min_size=nfrom, max_size=nfrom
+        )
+    )
+    return nfrom, nto, np.array([col0, col1]).T, np.array(weights)
+
+
+@given(scatter_world(), st.integers(1, 16))
+def test_indirect_inc_equals_dense_matvec(world, block_size):
+    """op_par_loop INC through a map == explicit incidence-matrix product,
+    at any block size / coloring."""
+    nfrom, nto, mapvals, w = world
+    edges = OpSet("edges", nfrom)
+    cells = OpSet("cells", nto)
+    m = OpMap("m", edges, cells, 2, mapvals)
+    wdat = OpDat("w", edges, 1, w)
+    acc = OpDat("acc", cells, 1)
+
+    def kv(wv, a, b):
+        a[:] = wv
+        b[:] = -wv
+
+    loop = ParLoop(
+        Kernel("scatter", lambda w, a, b: None, kv),
+        "scatter",
+        edges,
+        (
+            op_arg_dat(wdat, -1, OP_ID, OP_READ),
+            op_arg_dat(acc, 0, m, OP_INC),
+            op_arg_dat(acc, 1, m, OP_INC),
+        ),
+    )
+    plan = build_plan(edges, list(loop.args), block_size=block_size)
+    execute_loop_by_plan(loop, plan)
+
+    expected = np.zeros(nto)
+    np.add.at(expected, mapvals[:, 0], w)
+    np.add.at(expected, mapvals[:, 1], -w)
+    np.testing.assert_allclose(acc.data[:, 0], expected, atol=1e-9)
+
+
+@given(scatter_world())
+def test_whole_set_and_plan_execution_agree(world):
+    nfrom, nto, mapvals, w = world
+    edges = OpSet("edges", nfrom)
+    cells = OpSet("cells", nto)
+    m = OpMap("m", edges, cells, 2, mapvals)
+    wdat = OpDat("w", edges, 1, w)
+    acc1 = OpDat("a1", cells, 1)
+    acc2 = OpDat("a2", cells, 1)
+
+    def kv(wv, a):
+        a[:] = wv * 2.0
+
+    def mkloop(acc):
+        return ParLoop(
+            Kernel("s", lambda w, a: None, kv),
+            "s",
+            edges,
+            (op_arg_dat(wdat, -1, OP_ID, OP_READ), op_arg_dat(acc, 0, m, OP_INC)),
+        )
+
+    execute_loop(mkloop(acc1))
+    plan = build_plan(edges, list(mkloop(acc2).args), block_size=7)
+    execute_loop_by_plan(mkloop(acc2), plan)
+    np.testing.assert_allclose(acc1.data, acc2.data, atol=1e-9)

@@ -1,0 +1,91 @@
+"""Property-based tests: simulator makespan bounds on random DAGs."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.sim.task import TaskGraph
+
+IDEAL = MachineConfig(
+    num_cores=32,
+    smt_ways=1,
+    task_overhead=0.0,
+    steal_overhead=0.0,
+)
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG built in topological order (deps point backwards)."""
+    n = draw(st.integers(1, 40))
+    g = TaskGraph()
+    for i in range(n):
+        cost = draw(st.floats(0.1, 10.0))
+        ndeps = draw(st.integers(0, min(i, 3)))
+        deps = draw(
+            st.lists(st.integers(0, i - 1), min_size=ndeps, max_size=ndeps, unique=True)
+        ) if i else []
+        g.add(f"t{i}", cost, deps)
+    return g
+
+
+@given(random_dag(), st.integers(1, 32))
+def test_makespan_bounded_below_by_critical_path(g, threads):
+    res = simulate(g, IDEAL, threads)
+    assert res.makespan >= g.critical_path() - 1e-9
+
+
+@given(random_dag(), st.integers(1, 32))
+def test_makespan_bounded_above_by_total_work(g, threads):
+    res = simulate(g, IDEAL, threads)
+    assert res.makespan <= g.total_work() + 1e-9
+
+
+@given(random_dag(), st.integers(1, 32))
+def test_makespan_bounded_by_graham_list_scheduling(g, threads):
+    # Graham's bound for any list scheduler: T <= work/p + critical_path.
+    res = simulate(g, IDEAL, threads)
+    assert res.makespan <= g.total_work() / threads + g.critical_path() + 1e-9
+
+
+@given(random_dag())
+def test_single_thread_equals_total_work(g):
+    res = simulate(g, IDEAL, 1)
+    assert abs(res.makespan - g.total_work()) < 1e-9
+
+
+@given(random_dag(), st.integers(1, 16))
+def test_all_tasks_execute_exactly_once(g, threads):
+    res = simulate(g, IDEAL, threads, trace=True)
+    assert res.tasks_executed == len(g)
+    assert len(res.trace.records) == len(g)
+    assert sorted(r.tid for r in res.trace.records) == list(range(len(g)))
+
+
+@given(random_dag(), st.integers(1, 16))
+def test_trace_respects_dependencies(g, threads):
+    res = simulate(g, IDEAL, threads, trace=True)
+    end_of = {r.tid: r.end for r in res.trace.records}
+    start_of = {r.tid: r.start for r in res.trace.records}
+    for t in g:
+        for d in t.deps:
+            assert start_of[t.tid] >= end_of[d] - 1e-9
+
+
+@given(random_dag(), st.integers(1, 16))
+def test_no_thread_overlap_in_trace(g, threads):
+    res = simulate(g, IDEAL, threads, trace=True)
+    per_thread: dict[int, list] = {}
+    for r in res.trace.records:
+        per_thread.setdefault(r.thread, []).append((r.start, r.end))
+    for intervals in per_thread.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+
+@given(random_dag())
+def test_determinism(g):
+    a = simulate(g, IDEAL, 4).makespan
+    b = simulate(g, IDEAL, 4).makespan
+    assert a == b

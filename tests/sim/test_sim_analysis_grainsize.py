@@ -1,0 +1,135 @@
+"""Tests for schedule analysis and the grain-size study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.grainsize import best_grain, grain_size_curve, is_u_shaped
+from repro.sim.analysis import (
+    bottleneck_report,
+    critical_loop_shares,
+    critical_path_tasks,
+    idle_gaps,
+)
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig, paper_machine
+from repro.sim.task import TaskGraph
+
+IDEAL = MachineConfig(num_cores=4, smt_ways=1, task_overhead=0.0, steal_overhead=0.0)
+
+
+class TestCriticalPathTasks:
+    def test_chain_is_whole_graph(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0)
+        b = g.add("b", 2.0, [a])
+        c = g.add("c", 3.0, [b])
+        assert critical_path_tasks(g) == [a, b, c]
+
+    def test_picks_longer_branch(self):
+        g = TaskGraph()
+        top = g.add("top", 1.0)
+        long_branch = g.add("long", 10.0, [top])
+        g.add("short", 1.0, [top])
+        bottom = g.add("bottom", 1.0, [long_branch, 2])
+        assert critical_path_tasks(g) == [top, long_branch, bottom]
+
+    def test_chain_cost_equals_critical_path(self):
+        rng = np.random.default_rng(0)
+        g = TaskGraph()
+        for i in range(30):
+            deps = [int(d) for d in rng.choice(i, size=min(i, 2), replace=False)] if i else []
+            g.add(f"t{i}", float(rng.random() + 0.1), deps)
+        chain = critical_path_tasks(g)
+        chain_cost = sum(g.tasks[t].cost for t in chain)
+        assert chain_cost == pytest.approx(g.critical_path())
+
+    def test_empty_graph(self):
+        assert critical_path_tasks(TaskGraph()) == []
+
+
+class TestCriticalLoopShares:
+    def test_shares_sum_to_one(self):
+        g = TaskGraph()
+        a = g.add("a", 2.0, loop="adt")
+        b = g.add("b", 3.0, [a], loop="res")
+        shares = critical_loop_shares(g)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["res"] == pytest.approx(0.6)
+
+    def test_kind_used_when_no_loop_label(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0, kind="barrier")
+        shares = critical_loop_shares(g)
+        assert "barrier" in shares
+
+
+class TestIdleGaps:
+    def test_detects_tail_idle(self):
+        g = TaskGraph()
+        g.add("long", 10.0)
+        g.add("short", 1.0)
+        res = simulate(g, IDEAL, 2, trace=True)
+        gaps = idle_gaps(res.trace)
+        # Thread 1 idles from 1.0 to 10.0; threads 2,3 idle fully.
+        assert any(g_.thread == 1 and g_.duration == pytest.approx(9.0) for g_ in gaps)
+
+    def test_no_gaps_when_saturated(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add(f"t{i}", 5.0)
+        res = simulate(g, IDEAL, 4, trace=True)
+        assert idle_gaps(res.trace, min_duration=1e-9) == []
+
+    def test_min_duration_filter(self):
+        g = TaskGraph()
+        g.add("long", 10.0)
+        g.add("short", 9.999)
+        res = simulate(g, IDEAL, 2, trace=True)
+        assert idle_gaps(res.trace, min_duration=0.5) == []
+
+
+class TestBottleneckReport:
+    def test_mentions_key_numbers(self):
+        g = TaskGraph()
+        a = g.add("a", 5.0, loop="adt_calc")
+        g.add("b", 5.0, [a], loop="res_calc")
+        res = simulate(g, IDEAL, 2, trace=True)
+        report = bottleneck_report(g, res)
+        assert "makespan" in report
+        assert "critical path" in report
+        assert "adt_calc" in report
+
+
+class TestGrainSizeCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return grain_size_curve(paper_machine(), threads=16, total_work=50_000.0)
+
+    def test_u_shape(self, curve):
+        assert is_u_shaped(curve)
+
+    def test_tiny_tasks_inefficient(self, curve):
+        # Sub-microsecond tasks drown in the 0.35us dispatch overhead.
+        assert curve[0].efficiency < 0.5
+
+    def test_huge_tasks_starve(self, curve):
+        # One task for the whole workload uses a single thread.
+        assert curve[-1].num_tasks < 16
+        assert curve[-1].efficiency < 0.5
+
+    def test_best_grain_in_sweet_spot(self, curve):
+        best = best_grain(curve)
+        assert 0.6 < best.efficiency <= 1.0
+        assert 3.0 < best.task_size < 10_000.0
+
+    def test_efficiency_bounded_by_one(self, curve):
+        assert all(0.0 < p.efficiency <= 1.0 + 1e-9 for p in curve)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(Exception):
+            grain_size_curve(paper_machine(), 4, total_work=-1.0)
+        with pytest.raises(Exception):
+            grain_size_curve(paper_machine(), 4, task_sizes=[0.0])
+
+    def test_is_u_shaped_guards(self):
+        assert not is_u_shaped([])

@@ -1,0 +1,74 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.sim.chrometrace import export_chrome_trace, trace_events
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.sim.task import TaskGraph
+
+IDEAL = MachineConfig(num_cores=2, smt_ways=1, task_overhead=0.0, steal_overhead=0.0)
+
+
+@pytest.fixture()
+def result():
+    g = TaskGraph()
+    a = g.add("adt.blk0", 2.0, loop="adt_calc")
+    g.add("barrier", 1.0, [a], kind="barrier")
+    return simulate(g, IDEAL, 2, trace=True)
+
+
+class TestTraceEvents:
+    def test_one_duration_event_per_record(self, result):
+        events = trace_events(result.trace)
+        durations = [e for e in events if e["ph"] == "X"]
+        assert len(durations) == len(result.trace.records)
+
+    def test_metadata_rows(self, result):
+        events = trace_events(result.trace, process_name="myproc")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "myproc"
+        # One thread_name row per simulated thread.
+        assert sum(1 for e in meta if e["name"] == "thread_name") == 2
+
+    def test_timestamps_match_trace(self, result):
+        events = {e["args"]["task"]: e for e in trace_events(result.trace) if e["ph"] == "X"}
+        for r in result.trace.records:
+            assert events[r.tid]["ts"] == r.start
+            assert events[r.tid]["dur"] == pytest.approx(r.duration)
+
+    def test_kind_colors_assigned(self, result):
+        events = [e for e in trace_events(result.trace) if e["ph"] == "X"]
+        barrier = next(e for e in events if e["args"]["kind"] == "barrier")
+        assert barrier["cname"] == "terrible"
+
+    def test_category_includes_loop(self, result):
+        events = [e for e in trace_events(result.trace) if e["ph"] == "X"]
+        work = next(e for e in events if e["args"]["kind"] == "work")
+        assert "adt_calc" in work["cat"]
+
+
+class TestExport:
+    def test_writes_valid_json(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        n = export_chrome_trace(result.trace, path)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list)
+        assert len(loaded) == n
+
+    def test_airfoil_schedule_exports(self, tmp_path):
+        from repro.backends.costs import LoopCostModel
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_backend, simulate_backend
+
+        cfg = ExperimentConfig(ni=16, nj=6, niter=1, block_size=16)
+        run = run_backend("openmp", cfg, validate=False)
+        res = simulate_backend(run, cfg, 4, LoopCostModel(), trace=True)
+        path = tmp_path / "openmp.json"
+        n = export_chrome_trace(res.trace, path)
+        assert n > 50
+        events = json.loads(path.read_text())
+        loops = {e["args"].get("loop") for e in events if e["ph"] == "X"}
+        assert "res_calc" in loops

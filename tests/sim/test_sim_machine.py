@@ -1,0 +1,148 @@
+"""Tests for repro.sim.machine, barriers and bandwidth."""
+
+import math
+
+import pytest
+
+from repro.sim.bandwidth import contention_factor
+from repro.sim.barriers import BARRIER_MODELS, barrier_cost, join_cost
+from repro.sim.machine import MachineConfig, paper_machine, thread_speeds
+from repro.util.validate import ValidationError
+
+
+class TestMachineConfig:
+    def test_paper_machine_is_16c_32t(self):
+        m = paper_machine()
+        assert m.num_cores == 16
+        assert m.smt_ways == 2
+        assert m.max_threads == 32
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValidationError):
+            MachineConfig(num_cores=0)
+
+    def test_invalid_smt_efficiency(self):
+        with pytest.raises(ValidationError):
+            MachineConfig(smt_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            MachineConfig(smt_efficiency=1.5)
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ValidationError):
+            MachineConfig(task_overhead=-0.1)
+        with pytest.raises(ValidationError):
+            MachineConfig(barrier_base=-1.0)
+
+    def test_with_returns_modified_copy(self):
+        m = paper_machine()
+        m2 = m.with_(num_cores=8)
+        assert m2.num_cores == 8
+        assert m.num_cores == 16
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            paper_machine().num_cores = 4
+
+
+class TestThreadSpeeds:
+    def test_full_speed_up_to_core_count(self):
+        m = paper_machine()
+        assert thread_speeds(m, 16) == [1.0] * 16
+
+    def test_all_shared_at_max_threads(self):
+        m = paper_machine()
+        speeds = thread_speeds(m, 32)
+        assert speeds == [m.smt_efficiency] * 32
+
+    def test_partial_ht_occupancy(self):
+        m = paper_machine()
+        speeds = thread_speeds(m, 20)
+        # Threads 16..19 share cores 0..3 with threads 0..3.
+        shared = [0, 1, 2, 3, 16, 17, 18, 19]
+        for i in range(20):
+            expected = m.smt_efficiency if i in shared else 1.0
+            assert speeds[i] == expected
+
+    def test_exceeding_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            thread_speeds(paper_machine(), 33)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValidationError):
+            thread_speeds(paper_machine(), 0)
+
+    def test_total_throughput_knee(self):
+        # Throughput grows past 16 threads, but sub-linearly: the HT knee.
+        m = paper_machine()
+        t16 = sum(thread_speeds(m, 16))
+        t32 = sum(thread_speeds(m, 32))
+        assert t32 > t16
+        assert t32 < 2 * t16
+
+
+class TestBarrierCost:
+    def test_linear_grows_with_threads(self):
+        m = paper_machine()
+        assert barrier_cost(m, 32) > barrier_cost(m, 2)
+
+    def test_linear_formula(self):
+        m = paper_machine()
+        assert barrier_cost(m, 8) == pytest.approx(
+            m.barrier_base + m.barrier_per_thread * 8
+        )
+
+    def test_logtree_scales_with_depth(self):
+        m = MachineConfig(barrier_model="logtree")
+        c8 = barrier_cost(m, 8)
+        c64_equivalent = m.barrier_base + m.barrier_per_thread * 2 * math.ceil(
+            math.log2(8)
+        )
+        assert c8 == pytest.approx(c64_equivalent)
+
+    def test_flat_is_constant(self):
+        m = MachineConfig(barrier_model="flat")
+        assert barrier_cost(m, 2) == barrier_cost(m, 32) == m.barrier_base
+
+    def test_unknown_model_rejected(self):
+        m = MachineConfig(barrier_model="quantum")
+        with pytest.raises(ValidationError, match="quantum"):
+            barrier_cost(m, 4)
+
+    def test_all_registered_models_work(self):
+        for name in BARRIER_MODELS:
+            assert barrier_cost(MachineConfig(barrier_model=name), 4) > 0
+
+    def test_join_cheaper_than_barrier(self):
+        m = paper_machine()
+        assert join_cost(m, 32) < barrier_cost(m, 32)
+
+
+class TestContentionFactor:
+    def test_no_dilation_below_saturation(self):
+        m = paper_machine()
+        assert contention_factor(m, 8, 1.0) == 1.0
+
+    def test_dilation_above_saturation(self):
+        m = paper_machine()
+        assert contention_factor(m, 16, 1.0) > 1.0
+
+    def test_compute_bound_unaffected(self):
+        m = paper_machine()
+        assert contention_factor(m, 16, 0.0) == 1.0
+
+    def test_partial_mem_fraction_interpolates(self):
+        m = paper_machine()
+        full = contention_factor(m, 16, 1.0)
+        half = contention_factor(m, 16, 0.5)
+        assert half == pytest.approx(0.5 + 0.5 * full)
+
+    def test_hyperthreads_do_not_add_bandwidth_pressure(self):
+        m = paper_machine()
+        assert contention_factor(m, 32, 0.8) == contention_factor(m, 16, 0.8)
+
+    def test_invalid_inputs(self):
+        m = paper_machine()
+        with pytest.raises(ValidationError):
+            contention_factor(m, 0, 0.5)
+        with pytest.raises(ValidationError):
+            contention_factor(m, 4, 1.5)

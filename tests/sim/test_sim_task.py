@@ -1,0 +1,119 @@
+"""Tests for repro.sim.task."""
+
+import pytest
+
+from repro.sim.task import SimTask, TaskGraph, TaskGraphError
+
+
+class TestSimTask:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(TaskGraphError):
+            SimTask(name="t", cost=-1.0)
+
+    def test_mem_fraction_bounds(self):
+        with pytest.raises(TaskGraphError):
+            SimTask(name="t", cost=1.0, mem_fraction=1.5)
+        with pytest.raises(TaskGraphError):
+            SimTask(name="t", cost=1.0, mem_fraction=-0.1)
+
+    def test_defaults(self):
+        t = SimTask(name="t", cost=1.0)
+        assert t.affinity is None
+        assert t.kind == "work"
+        assert t.deps == ()
+
+
+class TestTaskGraphConstruction:
+    def test_ids_sequential(self):
+        g = TaskGraph()
+        assert g.add("a", 1.0) == 0
+        assert g.add("b", 1.0) == 1
+
+    def test_forward_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(TaskGraphError):
+            g.add("a", 1.0, deps=[0])  # self/forward reference
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        with pytest.raises(TaskGraphError):
+            g.add("b", 1.0, deps=[5])
+
+    def test_len_and_iter(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        g.add("b", 2.0, deps=[0])
+        assert len(g) == 2
+        assert [t.name for t in g] == ["a", "b"]
+
+    def test_validate_passes_on_well_formed(self):
+        g = TaskGraph()
+        g.add("a", 1.0)
+        g.add("b", 1.0, deps=[0])
+        g.validate()
+
+
+class TestTaskGraphAnalysis:
+    def _chain(self, costs):
+        g = TaskGraph()
+        prev = None
+        for i, c in enumerate(costs):
+            prev = g.add(f"t{i}", c, [prev] if prev is not None else [])
+        return g
+
+    def test_total_work(self):
+        g = self._chain([1.0, 2.0, 3.0])
+        assert g.total_work() == 6.0
+
+    def test_total_work_by_kind(self):
+        g = TaskGraph()
+        g.add("w", 5.0, kind="work")
+        g.add("b", 2.0, kind="barrier")
+        assert g.total_work("work") == 5.0
+        assert g.total_work("barrier") == 2.0
+
+    def test_critical_path_of_chain_is_total(self):
+        g = self._chain([1.0, 2.0, 3.0])
+        assert g.critical_path() == 6.0
+
+    def test_critical_path_of_independent_tasks_is_max(self):
+        g = TaskGraph()
+        g.add("a", 5.0)
+        g.add("b", 3.0)
+        assert g.critical_path() == 5.0
+
+    def test_critical_path_diamond(self):
+        g = TaskGraph()
+        top = g.add("top", 1.0)
+        left = g.add("left", 10.0, [top])
+        right = g.add("right", 2.0, [top])
+        g.add("bottom", 1.0, [left, right])
+        assert g.critical_path() == 12.0
+
+    def test_successors(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0)
+        b = g.add("b", 1.0, [a])
+        c = g.add("c", 1.0, [a])
+        assert g.successors()[a] == [b, c]
+
+    def test_roots(self):
+        g = TaskGraph()
+        a = g.add("a", 1.0)
+        g.add("b", 1.0, [a])
+        c = g.add("c", 1.0)
+        assert g.roots() == [a, c]
+
+    def test_by_kind_counts(self):
+        g = TaskGraph()
+        g.add("a", 1.0, kind="work")
+        g.add("b", 1.0, kind="work")
+        g.add("c", 1.0, kind="barrier")
+        assert g.by_kind() == {"work": 2, "barrier": 1}
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert g.critical_path() == 0.0
+        assert g.total_work() == 0.0
+        assert g.roots() == []
