@@ -5,11 +5,24 @@ vs for_each vs async vs dataflow across the thread sweep. ``benchmark``
 measures the simulation itself; the reproduced quantity — simulated
 execution time on the modeled 16C/32T node — is attached as ``extra_info``
 and printed as the paper-style table at module teardown.
+
+Run ``python benchmarks/bench_fig15_exec_time.py --mode threads`` for the
+measured (real thread pool) variant of this figure.
 """
+
+if __package__ in (None, ""):  # executed as a script: fix up sys.path first
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for _p in (str(_ROOT), str(_ROOT / "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
+from benchmarks.wallclock import measure_matrix, simulated_ms, wallclock_report
 from repro.experiments.runner import simulate_backend
 from repro.util.tables import Table
 
@@ -54,3 +67,27 @@ def _print_table():
     if t1:
         print(f"1-thread spread: {max(t1) / min(t1) - 1.0:+.1%} "
               "(paper: same performance on 1 thread)")
+
+
+def test_fig15_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+    """Measured fig15: all four strategies on a real thread pool."""
+    workers = bench_workers
+    specs = [(backend, label, None) for backend, label in BACKENDS]
+    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
+    print()
+    print(
+        wallclock_report(
+            "fig15 measured: Airfoil execution time, four strategies",
+            specs, results, workers, sim,
+        )
+    )
+    for _, label, _ in specs:
+        for w in workers:
+            assert results[(label, w)].wall_seconds > 0.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s", *sys.argv[1:]]))

@@ -3,11 +3,32 @@
 Paper claims: the static chunk size beats the auto partitioner on large
 loops (the ~1% serial measurement prefix costs real scalability), and
 OpenMP still performs better than plain for_each.
+
+Run ``python benchmarks/bench_fig16_foreach.py --mode threads`` for the
+measured (real thread pool) variant of this figure.
 """
+
+if __package__ in (None, ""):  # executed as a script: fix up sys.path first
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for _p in (str(_ROOT), str(_ROOT / "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
+from benchmarks.wallclock import (
+    available_cores,
+    measure_matrix,
+    scaling_assertion_active,
+    simulated_ms,
+    speedup,
+    tuned_static_chunk,
+    wallclock_report,
+)
 from repro.experiments.runner import simulate_backend
 from repro.util.tables import Table
 
@@ -56,3 +77,53 @@ def _print_table():
           "(paper: OpenMP still better)")
     assert static < auto, "static chunking must beat the auto partitioner"
     assert omp < auto, "OpenMP must beat plain for_each"
+
+
+def test_fig16_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+    """Measured fig16: the same three strategies on a real thread pool.
+
+    Reports wall-clock milliseconds next to the simulated makespans; asserts
+    the tuned static-chunk for_each backend scales (>1.5x at the top worker
+    count) whenever the host has enough cores to make that physical.
+    """
+    workers = bench_workers
+    chunk = tuned_static_chunk(PAPER_CONFIG, paper_mesh, max(workers))
+    specs = [
+        ("openmp", "omp parallel for", None),
+        ("foreach", "for_each auto", None),
+        ("foreach_static", "for_each static", {"static_chunk": chunk}),
+    ]
+    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=3)
+    sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
+
+    print()
+    print(
+        wallclock_report(
+            f"fig16 measured: OpenMP vs for_each chunking (static_chunk={chunk})",
+            specs, results, workers, sim,
+        )
+    )
+    top = max(workers)
+    gain = speedup(results, "for_each static", top, workers[0])
+    print(
+        f"for_each static wall-clock speedup at {top} workers "
+        f"over {workers[0]}: {gain:.2f}x"
+    )
+    for _, label, _ in specs:
+        assert results[(label, top)].result.rms_total > 0.0
+    if top > workers[0] and scaling_assertion_active(top):
+        assert gain > 1.5, (
+            f"static-chunk for_each must scale on {available_cores()} cores: "
+            f"measured {gain:.2f}x at {top} workers"
+        )
+    elif top > workers[0]:
+        print(
+            f"only {available_cores()} usable core(s) on this host — "
+            f"speedup assertion skipped (CI caveat, see EXPERIMENTS.md)"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s", *sys.argv[1:]]))

@@ -4,11 +4,24 @@ Paper claim: ~5% scalability improvement at 32 threads from returning
 futures per loop and synchronizing only at the programmer-placed get()
 points — idle threads pick up the next loop's blocks instead of waiting at
 a barrier.
+
+Run ``python benchmarks/bench_fig17_async.py --mode threads`` for the
+measured (real thread pool) variant of this figure.
 """
+
+if __package__ in (None, ""):  # executed as a script: fix up sys.path first
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for _p in (str(_ROOT), str(_ROOT / "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
+from benchmarks.wallclock import measure_matrix, simulated_ms, wallclock_report
 from repro.experiments.config import PAPER_CLAIMS
 from repro.experiments.runner import simulate_backend
 from repro.sim.metrics import speedup_series
@@ -49,3 +62,26 @@ def _print_table():
     print(f"async gain at 32 threads: {gain:+.1%} "
           f"(paper: ~{PAPER_CLAIMS['async_gain_at_32']:.0%})")
     assert gain > 0.0, "async must beat OpenMP at 32 threads"
+
+
+def test_fig17_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+    """Measured fig17: OpenMP vs async on a real thread pool."""
+    workers = bench_workers
+    specs = [("openmp", "omp parallel for", None), ("hpx_async", "async", None)]
+    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
+    print()
+    print(
+        wallclock_report(
+            "fig17 measured: OpenMP vs async", specs, results, workers, sim
+        )
+    )
+    for _, label, _ in specs:
+        for w in workers:
+            assert results[(label, w)].wall_seconds > 0.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s", *sys.argv[1:]]))

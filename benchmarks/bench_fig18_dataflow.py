@@ -4,11 +4,24 @@ Paper claim: ~21% scalability improvement at 32 threads. The modified
 op_arg_dat returns futures and op_par_loop becomes a dataflow node, so the
 runtime builds the exact dependence DAG — including across timestep
 boundaries — and interleaves direct and indirect loops automatically.
+
+Run ``python benchmarks/bench_fig18_dataflow.py --mode threads`` for the
+measured (real thread pool) variant of this figure.
 """
+
+if __package__ in (None, ""):  # executed as a script: fix up sys.path first
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for _p in (str(_ROOT), str(_ROOT / "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
+from benchmarks.wallclock import measure_matrix, simulated_ms, wallclock_report
 from repro.experiments.config import PAPER_CLAIMS
 from repro.experiments.runner import simulate_backend
 from repro.sim.metrics import speedup_series
@@ -51,3 +64,29 @@ def _print_table():
     assert gain > PAPER_CLAIMS["async_gain_at_32"], (
         "dataflow must clearly exceed the async gain"
     )
+
+
+def test_fig18_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+    """Measured fig18: OpenMP vs dataflow on a real thread pool."""
+    workers = bench_workers
+    specs = [
+        ("openmp", "omp parallel for", None),
+        ("hpx_dataflow", "dataflow", None),
+    ]
+    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
+    print()
+    print(
+        wallclock_report(
+            "fig18 measured: OpenMP vs dataflow", specs, results, workers, sim
+        )
+    )
+    for _, label, _ in specs:
+        for w in workers:
+            assert results[(label, w)].wall_seconds > 0.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s", *sys.argv[1:]]))

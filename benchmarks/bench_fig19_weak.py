@@ -3,15 +3,28 @@
 Paper claim: dataflow has the best weak-scaling efficiency — 'the perfect
 overlap of computation with communication enabled by HPX' — and larger
 per-thread problems recover efficiency for every strategy.
+
+Run ``python benchmarks/bench_fig19_weak.py --mode threads`` for the
+measured (real thread pool) variant of this figure.
 """
+
+if __package__ in (None, ""):  # executed as a script: fix up sys.path first
+    import pathlib
+    import sys
+
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    for _p in (str(_ROOT), str(_ROOT / "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import WEAK_CONFIG
+from benchmarks.wallclock import available_cores
 from repro.airfoil import generate_mesh
 from repro.airfoil.meshgen import scaled_mesh_dims
 from repro.backends.costs import LoopCostModel
-from repro.experiments.runner import run_backend, simulate_backend
+from repro.experiments.runner import measure_backend, run_backend, simulate_backend
 from repro.sim.metrics import efficiency_series
 from repro.util.tables import Table
 
@@ -69,3 +82,47 @@ def _print_table():
     best = max(at_max, key=at_max.get)
     print(f"best at 32 threads: {best} (paper: dataflow)")
     assert best == "hpx_dataflow"
+
+
+def test_fig19_threads_wallclock(bench_workers):
+    """Measured fig19: weak scaling — the mesh grows with the worker count.
+
+    Weak-scaling efficiency is T(1 worker)/T(w workers) with the per-worker
+    problem held constant; on an unloaded multi-core host the ideal is 1.0.
+    """
+    workers = bench_workers
+    results: dict[tuple[str, int], float] = {}
+    meshes = {}
+    for w in workers:
+        ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, w)
+        meshes[w] = generate_mesh(ni=ni, nj=nj)
+    for backend in BACKENDS:
+        for w in workers:
+            run = measure_backend(
+                backend, WEAK_CONFIG, meshes[w], num_workers=w, repeats=2
+            )
+            results[(backend, w)] = run.wall_seconds * 1000.0
+            assert run.wall_seconds > 0.0
+    base = workers[0]
+    table = Table(
+        ["workers", "cells"]
+        + [f"{b} wall ms" for b in BACKENDS]
+        + [f"{b} eff" for b in BACKENDS]
+    )
+    for w in workers:
+        table.add_row(
+            [w, meshes[w].cells.size]
+            + [results[(b, w)] for b in BACKENDS]
+            + [results[(b, base)] / results[(b, w)] for b in BACKENDS]
+        )
+    print(
+        f"\n== fig19 measured: weak scaling (measured wall clock; "
+        f"{available_cores()} usable core(s)) =="
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s", *sys.argv[1:]]))

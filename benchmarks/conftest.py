@@ -1,11 +1,22 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the ``--mode sim|threads`` switch.
 
 Functional runs (numerics + loop logs) are cached per session — they are
 thread-count independent — so each figure bench only pays for its own
 task-graph emissions and machine simulations.
+
+Every ``bench_fig*`` file runs in one of two modes:
+
+- ``--mode sim`` (default): the historical machine-model benchmarks;
+- ``--mode threads``: the ``*_threads_wallclock`` tests run the same apps on
+  a real ``ThreadPoolExecutor`` and report measured wall-clock numbers next
+  to the simulated ones. ``--workers`` picks the worker sweep (default
+  ``1,4``). Each file is also directly runnable:
+  ``python benchmarks/bench_fig16_foreach.py --mode threads``.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
@@ -13,6 +24,58 @@ from repro.airfoil import generate_mesh
 from repro.backends.costs import LoopCostModel
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import BackendRun, run_backend
+
+_BENCH_DIR = str(Path(__file__).resolve().parent)
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benchmarks")
+    group.addoption(
+        "--mode",
+        action="store",
+        default="sim",
+        choices=("sim", "threads"),
+        help="bench execution: 'sim' (machine model, default) or 'threads' "
+        "(real thread pool, measured wall clock)",
+    )
+    group.addoption(
+        "--workers",
+        action="store",
+        default="1,4",
+        help="comma-separated worker counts for --mode threads (default: 1,4)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """In each mode, skip the other mode's benchmarks (benchmarks/ only)."""
+    try:
+        mode = config.getoption("--mode")
+    except (ValueError, KeyError):  # option not registered in this run
+        return
+    skip_sim = pytest.mark.skip(reason="sim-mode benchmark; running --mode threads")
+    skip_threads = pytest.mark.skip(reason="threads-mode benchmark; pass --mode threads")
+    for item in items:
+        if not str(item.fspath).startswith(_BENCH_DIR):
+            continue
+        is_wallclock = "threads_wallclock" in item.name
+        if mode == "threads" and not is_wallclock:
+            item.add_marker(skip_sim)
+        elif mode == "sim" and is_wallclock:
+            item.add_marker(skip_threads)
+
+
+@pytest.fixture(scope="session")
+def bench_mode(request) -> str:
+    return request.config.getoption("--mode")
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> tuple[int, ...]:
+    raw = request.config.getoption("--workers")
+    workers = tuple(sorted({int(w) for w in str(raw).split(",") if w.strip()}))
+    if not workers:
+        raise pytest.UsageError("--workers must name at least one worker count")
+    return workers
 
 #: Calibrated scale: the mesh where the machine model reproduces the paper's
 #: 5% / 21% gains (see DESIGN.md §5 and EXPERIMENTS.md).

@@ -1,0 +1,130 @@
+"""Measured wall-clock helpers shared by the ``--mode threads`` bench runs.
+
+The simulated benches replay recorded loop logs on the machine model; these
+helpers run the *same applications* on real OS threads
+(:func:`repro.experiments.runner.measure_backend`) and render the measured
+numbers next to the simulated ones, so a reader can compare the model's
+scaling story with what this host actually does.
+
+CI caveat: thread speedups are physical — a 1- or 2-core runner cannot show
+a 4-worker speedup, and numpy's GIL-released stretches only pay off when
+cores are genuinely free. :func:`scaling_assertion_active` therefore gates
+hard speedup assertions on the host's usable core count; the numbers are
+always printed either way.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.runner import (
+    MeasuredRun,
+    measure_backend,
+    simulate_backend,
+)
+from repro.hpx.chunking import CHUNKS_PER_WORKER
+from repro.util.tables import Table
+
+#: (backend registry name, display label, backend options or None)
+Spec = tuple[str, str, dict | None]
+
+
+def available_cores() -> int:
+    """Usable cores for this process (affinity-aware where supported)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def scaling_assertion_active(needed_workers: int) -> bool:
+    """Only assert real speedups the host can physically deliver."""
+    return available_cores() >= needed_workers
+
+
+def tuned_static_chunk(config, mesh, max_workers: int) -> int:
+    """Programmer-tuned ``static_chunk_size`` for measured runs (paper Fig 7).
+
+    Sized so the cells set yields ~``CHUNKS_PER_WORKER`` tasks per worker —
+    large enough that numpy batches dominate per-task Python overhead, small
+    enough to load-balance.
+    """
+    nblocks = -(-mesh.cells.size // config.block_size)
+    return max(1, nblocks // (max_workers * CHUNKS_PER_WORKER))
+
+
+def measure_matrix(
+    specs: list[Spec],
+    config,
+    mesh,
+    workers: tuple[int, ...],
+    repeats: int = 3,
+) -> dict[tuple[str, int], MeasuredRun]:
+    """Measured run for every (spec, worker count) combination."""
+    results: dict[tuple[str, int], MeasuredRun] = {}
+    for backend, label, options in specs:
+        for w in workers:
+            results[(label, w)] = measure_backend(
+                backend,
+                config,
+                mesh,
+                num_workers=w,
+                repeats=repeats,
+                backend_options=options,
+            )
+    return results
+
+
+def simulated_ms(
+    specs: list[Spec], runs_for, config, workers: tuple[int, ...], cost_model
+) -> dict[tuple[str, int], float]:
+    """Simulated makespans (ms) for the same matrix, from cached logs."""
+    out: dict[tuple[str, int], float] = {}
+    for backend, label, _ in specs:
+        run = runs_for(backend)
+        for w in workers:
+            sim = simulate_backend(run, config, w, cost_model)
+            out[(label, w)] = sim.makespan / 1000.0
+    return out
+
+
+def wallclock_report(
+    title: str,
+    specs: list[Spec],
+    results: dict[tuple[str, int], MeasuredRun],
+    workers: tuple[int, ...],
+    sim_ms: dict[tuple[str, int], float] | None = None,
+) -> str:
+    """Measured (and optionally simulated) table plus per-spec speedups."""
+    header = ["workers"]
+    for _, label, _ in specs:
+        header.append(f"{label} wall ms")
+        if sim_ms is not None:
+            header.append(f"{label} sim ms")
+    table = Table(header)
+    for w in workers:
+        row: list = [w]
+        for _, label, _ in specs:
+            row.append(results[(label, w)].wall_seconds * 1000.0)
+            if sim_ms is not None:
+                row.append(sim_ms.get((label, w), float("nan")))
+        table.add_row(row)
+
+    lines = [
+        f"== {title} (measured wall clock; {available_cores()} usable core(s)) ==",
+        table.render(),
+    ]
+    base = workers[0]
+    for _, label, _ in specs:
+        parts = [
+            f"{w}w {speedup(results, label, w, base):.2f}x" for w in workers[1:]
+        ]
+        if parts:
+            lines.append(f"  {label}: speedup vs {base}w: {', '.join(parts)}")
+    return "\n".join(lines)
+
+
+def speedup(
+    results: dict[tuple[str, int], MeasuredRun], label: str, hi: int, lo: int = 1
+) -> float:
+    """Measured wall-clock speedup of ``hi`` workers over ``lo`` workers."""
+    return results[(label, lo)].wall_seconds / results[(label, hi)].wall_seconds

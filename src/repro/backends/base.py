@@ -93,12 +93,30 @@ def gather_args(
     return buffers, writebacks
 
 
-def scatter_args(writebacks: list[tuple[Arg, Any, np.ndarray]]) -> None:
-    """Write kernel outputs back into dats/globals."""
+def scatter_args(
+    writebacks: list[tuple[Arg, Any, np.ndarray]],
+    global_sink: list[tuple[Arg, np.ndarray]] | None = None,
+) -> None:
+    """Write kernel outputs back into dats/globals.
+
+    When ``global_sink`` is given, global reductions are *not* applied to the
+    shared ``OpGlobal`` storage; instead the batch-reduced partial is appended
+    to the sink. Threaded execution uses this to keep concurrent tasks from
+    racing on globals and to combine partials in a fixed (deterministic)
+    order on the calling thread.
+    """
     for arg, tgt, buf in writebacks:
         if arg.is_global:
             gbl = arg.dat
             assert isinstance(gbl, OpGlobal)
+            if global_sink is not None:
+                if arg.access is Access.INC:
+                    global_sink.append((arg, buf.sum(axis=0)))
+                elif arg.access is Access.MIN:
+                    global_sink.append((arg, buf.min(axis=0)))
+                elif arg.access is Access.MAX:
+                    global_sink.append((arg, buf.max(axis=0)))
+                continue
             if arg.access is Access.INC:
                 gbl.data += buf.sum(axis=0)
             elif arg.access is Access.MIN:
@@ -126,16 +144,41 @@ def scatter_args(writebacks: list[tuple[Arg, Any, np.ndarray]]) -> None:
                 np.maximum.at(dat.data, tgt, buf)
 
 
+def apply_global_partials(partials: list[tuple[Arg, np.ndarray]]) -> None:
+    """Fold deferred global-reduction partials into their ``OpGlobal``s.
+
+    Partials are combined strictly in list order; threaded execution builds
+    the list in task-submission order, which makes MIN/MAX/INC reductions
+    deterministic regardless of worker scheduling.
+    """
+    for arg, part in partials:
+        gbl = arg.dat
+        assert isinstance(gbl, OpGlobal)
+        if arg.access is Access.INC:
+            gbl.data += part
+        elif arg.access is Access.MIN:
+            np.minimum(gbl.data, part, out=gbl.data)
+        elif arg.access is Access.MAX:
+            np.maximum(gbl.data, part, out=gbl.data)
+
+
 def execute_loop(
     loop: ParLoop,
     elements: np.ndarray | slice | None = None,
     mode: str = "vectorized",
+    *,
+    global_sink: list[tuple[Arg, np.ndarray]] | None = None,
+    bump_versions: bool = True,
 ) -> None:
     """Run ``loop`` over ``elements`` (default: the whole set).
 
     ``mode="vectorized"`` uses the kernel's numpy batch implementation;
     ``mode="elemental"`` applies the scalar kernel row by row (reference
     semantics; used by tests and tiny meshes).
+
+    ``global_sink``/``bump_versions`` support threaded execution: global
+    partials can be collected instead of applied (see :func:`scatter_args`)
+    and dat version bumps deferred to the orchestrating thread.
     """
     if elements is None:
         elements = slice(0, loop.set_.size)
@@ -165,10 +208,11 @@ def execute_loop(
     else:
         raise Op2Error(f"unknown execution mode {mode!r}")
 
-    scatter_args(writebacks)
-    for arg in loop.args:
-        if not arg.is_global and arg.access.writes:
-            arg.dat.bump_version()
+    scatter_args(writebacks, global_sink=global_sink)
+    if bump_versions:
+        for arg in loop.args:
+            if not arg.is_global and arg.access.writes:
+                arg.dat.bump_version()
 
 
 def execute_loop_by_plan(loop: ParLoop, plan: "Plan", mode: str = "vectorized") -> None:
@@ -194,6 +238,35 @@ class Backend(ABC):
         self, rt: "Op2Runtime", loop: ParLoop, plan: "Plan", loop_id: int
     ) -> "Future | None":
         """Execute (or schedule) one loop; returns a future iff asynchronous."""
+
+    def _thread_chunker(self, rt: "Op2Runtime"):
+        """Decomposition policy for real-thread execution (threads mode).
+
+        The default — an even split of each color class across workers —
+        matches OpenMP's static schedule; backends with their own chunking
+        story (for_each auto/static) override this.
+        """
+        from repro.hpx.chunking import GuessChunkSize
+
+        return GuessChunkSize()
+
+    def run_loop_threads(
+        self, rt: "Op2Runtime", loop: ParLoop, plan: "Plan", loop_id: int
+    ) -> "Future | None":
+        """Execute one loop on the runtime's real thread pool.
+
+        Color classes run as sequential fork-join batches; blocks of one
+        color execute concurrently (they write disjoint rows by plan
+        coloring). Synchronous backends return ``None``; async flavors
+        override this to return an already-completed future so application
+        drivers keep their sync structure.
+        """
+        from repro.backends.threaded import run_loop_threaded
+
+        run_loop_threaded(
+            rt, loop, plan, self._thread_chunker(rt), mode=self._exec_mode(rt)
+        )
+        return None
 
     def finalize(self, rt: "Op2Runtime") -> None:
         """Complete outstanding asynchronous work (no-op for sync backends)."""

@@ -54,6 +54,12 @@ class ForEachBackend(Backend):
             return StaticChunkSize(self.static_chunk)
         return AutoPartitioner()
 
+    def _thread_chunker(self, rt):
+        # Threads mode uses the same chunking policy the simulator models:
+        # auto partitioner (inline measurement prefix) or the programmer's
+        # static chunk size, in units of plan blocks.
+        return self._chunker()
+
     def run_loop(
         self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
     ) -> None:

@@ -67,6 +67,23 @@ class HpxAsyncBackend(Backend):
 
         return get_runtime().async_(orchestrate, name=f"async.{loop.name}")
 
+    def run_loop_threads(
+        self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
+    ) -> Future:
+        # Real-thread mode: the loop body executes eagerly (colors
+        # sequential, same-color blocks concurrent on the pool) and the
+        # application receives an already-completed future, so its
+        # ``rt.sync(...)`` placement keeps working unchanged. Inter-loop
+        # overlap remains a simulated-only phenomenon for now — measured
+        # overlap needs per-dat dependency scheduling on the pool.
+        from repro.backends.threaded import run_loop_threaded
+        from repro.hpx.future import make_ready_future
+
+        run_loop_threaded(
+            rt, loop, plan, self._thread_chunker(rt), mode=self._exec_mode(rt)
+        )
+        return make_ready_future(None, rt.hpx.executor)
+
     def finalize(self, rt: Op2Runtime) -> None:
         rt.hpx.executor.drain()
 

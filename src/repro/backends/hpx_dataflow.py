@@ -89,6 +89,21 @@ class HpxDataflowBackend(Backend):
         self._futures[loop_id] = result
         return result
 
+    def run_loop_threads(
+        self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
+    ) -> Future:
+        # Real-thread mode executes eagerly in program order — program order
+        # is a correct (if conservative) linearization of the dataflow graph.
+        # The dat-future tree stays a simulated-only construct; measured
+        # cross-loop overlap is future work on top of the thread pool.
+        from repro.backends.threaded import run_loop_threaded
+        from repro.hpx.future import make_ready_future
+
+        run_loop_threaded(
+            rt, loop, plan, self._thread_chunker(rt), mode=self._exec_mode(rt)
+        )
+        return make_ready_future(None, rt.hpx.executor)
+
     def finalize(self, rt: Op2Runtime) -> None:
         for loop_id in self.tracker.outstanding():
             fut = self._futures.get(loop_id)

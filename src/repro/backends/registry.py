@@ -21,8 +21,14 @@ def register_backend(name: str, factory: Callable[[], Backend]) -> None:
     _REGISTRY[name] = factory
 
 
-def create_backend(name: str) -> Backend:
-    """Instantiate a registered backend by name."""
+def create_backend(name: str, **options) -> Backend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are forwarded to the factory — e.g.
+    ``create_backend("foreach_static", static_chunk=16)`` tunes the grain a
+    threads-mode run uses, the "chosen by the programmer" knob of paper
+    Fig 7. A factory that does not accept an option raises ``Op2Error``.
+    """
     _ensure_builtin()
     try:
         factory = _REGISTRY[name]
@@ -30,7 +36,12 @@ def create_backend(name: str) -> Backend:
         raise Op2Error(
             f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory()
+    try:
+        return factory(**options)
+    except TypeError as exc:
+        raise Op2Error(
+            f"backend {name!r} rejected options {sorted(options)}: {exc}"
+        ) from None
 
 
 def available_backends() -> list[str]:
@@ -52,6 +63,9 @@ def _ensure_builtin() -> None:
     register_backend("seq", SeqBackend)
     register_backend("openmp", OpenMPBackend)
     register_backend("foreach", ForEachBackend)
-    register_backend("foreach_static", lambda: ForEachBackend(static_chunking=True))
+    register_backend(
+        "foreach_static",
+        lambda **kw: ForEachBackend(static_chunking=True, **kw),
+    )
     register_backend("hpx_async", HpxAsyncBackend)
     register_backend("hpx_dataflow", HpxDataflowBackend)

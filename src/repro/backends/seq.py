@@ -25,6 +25,13 @@ class SeqBackend(Backend):
         self.run_functional(rt, loop, plan)
         return None
 
+    def run_loop_threads(
+        self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
+    ) -> None:
+        # The sequential reference stays sequential in every mode — it is the
+        # baseline both the conformance matrix and wall-clock speedups use.
+        return self.run_loop(rt, loop, plan, loop_id)
+
     def emit(
         self,
         log: LoopLog,

@@ -1,0 +1,130 @@
+"""The shared real-thread execution driver (``mode="threads"``).
+
+Every backend's :meth:`~repro.backends.base.Backend.run_loop_threads` lands
+here. One ``op_par_loop`` executes as follows:
+
+1. the plan's color classes run **sequentially** (colors are the correctness
+   barrier for indirect reductions);
+2. within a color class, the backend's chunker splits the class's block list
+   into chunks; each chunk becomes one pool task. Contiguous blocks inside a
+   chunk are merged into single element *spans*, so a direct loop (one color,
+   contiguous blocks) turns into a handful of large ``execute_loop`` slices —
+   exactly the grain numpy needs to release the GIL for meaningful stretches;
+3. serial-prefix chunks (the auto partitioner's measurement pass) run inline
+   on the calling thread *before* the parallel chunks are submitted, matching
+   HPX's behaviour;
+4. global MIN/MAX/INC reductions are **deferred**: each task returns its
+   batch partials, and the calling thread folds them in task-submission order
+   (never completion order) — repeated runs with the same worker count are
+   therefore bit-identical.
+
+Why this is race-free:
+
+- same-color blocks touch disjoint indirect-reduction rows (plan coloring,
+  property-tested in ``tests/property/test_prop_threaded_race.py``);
+- direct writes target each task's own element spans, which are disjoint by
+  construction (chunks partition the class);
+- globals are never written from worker threads (deferral above);
+- dat version counters are bumped once per loop by the calling thread, not
+  from workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import apply_global_partials, execute_loop
+from repro.hpx.chunking import Chunk, Chunker
+from repro.op2.args import Arg
+from repro.op2.parloop import ParLoop
+from repro.op2.plan import Plan
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.op2.runtime import Op2Runtime
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous ``[start, stop)`` element range executed as one batch."""
+
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def chunk_spans(plan: Plan, class_blocks: list[int], chunk: Chunk) -> list[Span]:
+    """Merge the chunk's plan blocks into maximal contiguous element spans.
+
+    ``class_blocks[chunk.start:chunk.stop]`` names blocks of one color; for
+    direct loops these are contiguous and collapse into a single span, for
+    colored indirect loops same-color blocks are scattered and mostly stay
+    one span per block.
+    """
+    spans: list[Span] = []
+    for bi in class_blocks[chunk.start : chunk.stop]:
+        b = plan.blocks[bi]
+        if spans and spans[-1].stop == b.start:
+            spans[-1] = Span(spans[-1].start, b.stop)
+        else:
+            spans.append(Span(b.start, b.stop))
+    return spans
+
+
+def _run_spans(
+    loop: ParLoop, spans: list[Span], mode: str
+) -> list[tuple[Arg, np.ndarray]]:
+    """Execute the task's spans; return deferred global partials in order."""
+    partials: list[tuple[Arg, np.ndarray]] = []
+    for span in spans:
+        execute_loop(
+            loop,
+            slice(span.start, span.stop),
+            mode=mode,
+            global_sink=partials,
+            bump_versions=False,
+        )
+    return partials
+
+
+def run_loop_threaded(
+    rt: "Op2Runtime",
+    loop: ParLoop,
+    plan: Plan,
+    chunker: Chunker,
+    mode: str = "vectorized",
+) -> None:
+    """Execute ``loop`` under ``plan`` on the runtime's real thread pool."""
+    pool = rt.thread_pool
+    partials: list[tuple[Arg, np.ndarray]] = []
+
+    for class_blocks in plan.classes:
+        if not class_blocks:
+            continue
+        chunks = chunker.chunks(len(class_blocks), pool.num_workers)
+        thunks = []
+        for chunk in chunks:
+            if len(chunk) == 0:
+                continue
+            spans = chunk_spans(plan, class_blocks, chunk)
+            if chunk.serial_prefix:
+                # HPX's auto partitioner: measurement pass runs on the caller
+                # before any parallel chunk is spawned.
+                partials.extend(_run_spans(loop, spans, mode))
+            else:
+                thunks.append(lambda s=spans: _run_spans(loop, s, mode))
+        # One fork-join batch per color: run_batch returns in submission
+        # order only after every task finished (the color barrier).
+        for task_partials in pool.run_batch(thunks):
+            partials.extend(task_partials)
+
+    # Deferred side effects, applied deterministically by the calling thread
+    # (one version bump per writing arg, as a whole-set execute_loop does).
+    apply_global_partials(partials)
+    for arg in loop.args:
+        if not arg.is_global and arg.access.writes:
+            arg.dat.bump_version()

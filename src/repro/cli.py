@@ -73,6 +73,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_airfoil(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     from repro.airfoil import AirfoilApp, generate_mesh
     from repro.airfoil.metrics import compute_forces
     from repro.op2 import op2_session
@@ -80,16 +82,25 @@ def _cmd_airfoil(args: argparse.Namespace) -> int:
     mesh = generate_mesh(ni=args.ni, nj=args.nj)
     print(mesh.summary())
     with op2_session(
-        backend=args.backend, num_threads=args.threads, block_size=args.block_size
+        backend=args.backend,
+        num_threads=args.threads,
+        block_size=args.block_size,
+        mode=args.mode,
+        num_workers=args.workers,
     ) as rt:
         app = AirfoilApp(mesh)
+        start = perf_counter()
         result = app.run(rt, args.iters)
+        wall = perf_counter() - start
         forces = compute_forces(app, rt)
     print(
         f"{args.iters} iters on {args.backend}: "
         f"rms {result.final_rms(mesh.cells.size):.6f}, "
         f"c_d {forces.drag:+.5f}, c_l {forces.lift:+.5f}"
     )
+    if args.mode == "threads":
+        workers = args.workers if args.workers is not None else args.threads
+        print(f"measured wall clock: {wall * 1000:.1f} ms on {workers} worker thread(s)")
     return 0
 
 
@@ -99,7 +110,12 @@ def _cmd_heat(args: argparse.Namespace) -> int:
     from repro.op2 import op2_session
 
     mesh = generate_mesh(ni=args.ni, nj=args.nj)
-    with op2_session(backend=args.backend, num_threads=args.threads) as rt:
+    with op2_session(
+        backend=args.backend,
+        num_threads=args.threads,
+        mode=args.mode,
+        num_workers=args.workers,
+    ) as rt:
         app = HeatApp(mesh)
         result = app.run(rt, max_steps=args.steps, tol=args.tol, check_every=10)
     print(
@@ -178,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=20)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--block-size", type=int, default=128)
+    p.add_argument(
+        "--mode", default="sim", choices=["sim", "threads"],
+        help="sim: cooperative simulated execution; threads: real thread pool",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="OS threads for --mode threads (default: --threads)",
+    )
 
     p = sub.add_parser("heat", help="run the heat application")
     p.add_argument("--backend", default="hpx_dataflow")
@@ -186,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=200)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--tol", type=float, default=0.0)
+    p.add_argument(
+        "--mode", default="sim", choices=["sim", "threads"],
+        help="sim: cooperative simulated execution; threads: real thread pool",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="OS threads for --mode threads (default: --threads)",
+    )
 
     p = sub.add_parser("translate", help="source-to-source translate")
     p.add_argument("--target", default="hpx_dataflow")

@@ -1,6 +1,6 @@
-"""Run one backend on the Airfoil app and measure it on the machine model.
+"""Run one backend on the Airfoil app: simulated and measured pipelines.
 
-The pipeline per (backend, mesh):
+Simulated pipeline per (backend, mesh):
 
 1. run the app *functionally* under the backend (numerics + loop log);
 2. validate the numerics against the plain-numpy reference;
@@ -9,17 +9,24 @@ The pipeline per (backend, mesh):
 
 Step 1/2 are thread-count independent (the logical execution is the same),
 so a full thread sweep costs one functional run plus one simulation per P.
+
+Measured pipeline (:func:`measure_backend`): the same app runs under
+``mode="threads"`` on a real thread pool and the wall-clock time is taken
+with ``perf_counter`` — the numbers Figs 15-19 would show on this host
+rather than on the paper's machine model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.airfoil import AirfoilApp, AirfoilResult, ReferenceAirfoil, generate_mesh
 from repro.airfoil.meshgen import AirfoilMesh
 from repro.airfoil.validation import compare_states
 from repro.backends.costs import LoopCostModel
 from repro.experiments.config import ExperimentConfig
+from repro.op2.config import RuntimeConfig
 from repro.op2.runtime import LoopLog, Op2Runtime
 from repro.sim.engine import SimResult, SimulationEngine
 from repro.sim.task import TaskGraph
@@ -78,6 +85,76 @@ def run_backend(
         result=result,
         log=rt.log,
         runtime=rt,
+        validation=validation,
+    )
+
+
+@dataclass
+class MeasuredRun:
+    """Wall-clock measurement of one threaded run."""
+
+    backend: str
+    num_workers: int
+    #: best-of-``repeats`` wall time of one full app run, in seconds.
+    wall_seconds: float
+    #: every repeat's wall time, in run order.
+    times: list[float]
+    result: AirfoilResult
+    #: max relative deviation from the numpy reference, per field.
+    validation: dict[str, float] = field(default_factory=dict)
+
+
+def measure_backend(
+    backend: str,
+    config: ExperimentConfig,
+    mesh: AirfoilMesh | None = None,
+    num_workers: int = 1,
+    repeats: int = 3,
+    validate: bool = False,
+    backend_options: dict | None = None,
+) -> MeasuredRun:
+    """Measured (``mode="threads"``) run of the Airfoil app under ``backend``.
+
+    Each repeat builds a fresh app state and thread pool; the reported
+    ``wall_seconds`` is the best repeat (standard benchmarking practice —
+    the minimum is the least noise-contaminated estimate).
+    """
+    if mesh is None:
+        mesh = generate_mesh(**config.mesh_kwargs())
+    times: list[float] = []
+    app = None
+    result = None
+    for _ in range(max(1, repeats)):
+        rt = Op2Runtime(
+            backend=backend,
+            num_threads=num_workers,
+            block_size=config.block_size,
+            config=RuntimeConfig(mode="threads", num_workers=num_workers),
+            backend_options=backend_options,
+        )
+        previous = rt.activate()
+        try:
+            app = AirfoilApp(mesh)
+            start = perf_counter()
+            result = app.run(rt, config.niter)
+            times.append(perf_counter() - start)
+        finally:
+            rt.deactivate(previous)
+            rt.close()
+
+    validation: dict[str, float] = {}
+    if validate:
+        ref = ReferenceAirfoil(mesh)
+        ref.run(config.niter)
+        validation = compare_states(app, ref, tol=1e-9)
+
+    assert result is not None
+    return MeasuredRun(
+        backend=backend,
+        num_workers=num_workers,
+        wall_seconds=min(times),
+        times=times,
+        result=result,
         validation=validation,
     )
 

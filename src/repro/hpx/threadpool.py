@@ -1,0 +1,116 @@
+"""Real OS-thread pool used by the ``threads`` execution mode.
+
+This is the measured counterpart of the cooperative
+:class:`~repro.hpx.executor.TaskExecutor`: same submit/join vocabulary, but
+tasks run on a ``concurrent.futures.ThreadPoolExecutor`` so wall-clock
+behaviour reflects the actual hardware. Numpy's batch kernels release the GIL
+for their inner loops, which is what makes chunked parallel loops scale on
+multicore hosts.
+
+Determinism contract: :meth:`ThreadPoolEngine.run_batch` always returns
+results in *submission* order, never completion order — callers combine
+floating-point partials (global MIN/MAX/INC reductions) in a fixed order, so
+repeated runs with the same worker count are bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.validate import check_positive
+
+
+@dataclass
+class PoolStats:
+    """Counters describing pool activity since construction/reset."""
+
+    tasks_submitted: int = 0
+    batches: int = 0
+    max_batch_width: int = 0
+
+    def reset(self) -> None:
+        self.tasks_submitted = 0
+        self.batches = 0
+        self.max_batch_width = 0
+
+
+class ThreadPoolEngine:
+    """A fixed-width pool of real worker threads with ordered batch joins.
+
+    The underlying executor is created lazily (a runtime configured for
+    ``threads`` mode but never running a loop costs nothing) and can be
+    re-created after :meth:`close` — runtimes survive a ``finish``/``close``
+    cycle, as the cooperative executor does.
+    """
+
+    def __init__(self, num_workers: int = 1) -> None:
+        check_positive("num_workers", num_workers)
+        self.num_workers = int(num_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self.stats = PoolStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="op2-worker"
+            )
+        return self._pool
+
+    @property
+    def active(self) -> bool:
+        """True while OS threads are (or may be) alive."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Join and release the worker threads (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadPoolEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def run_batch(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every thunk on the pool; join; results in submission order.
+
+        This is the fork-join primitive of the threads mode: one batch per
+        color class (or per loop for direct loops). All thunks are waited for
+        even when one raises — no worker may still be mutating shared dats
+        after control returns — and the first exception (in submission order)
+        is re-raised on the caller.
+        """
+        if not thunks:
+            return []
+        pool = self._ensure()
+        futures = [pool.submit(thunk) for thunk in thunks]
+        self.stats.tasks_submitted += len(futures)
+        self.stats.batches += 1
+        if len(futures) > self.stats.max_batch_width:
+            self.stats.max_batch_width = len(futures)
+
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.active else "idle"
+        return f"<ThreadPoolEngine workers={self.num_workers} {state}>"

@@ -26,6 +26,7 @@ from repro.op2.kernel import Kernel, KernelCost
 from repro.op2.exceptions import Op2Error, PlanError
 from repro.op2.plan import Plan, build_plan
 from repro.op2.parloop import ParLoop, op_par_loop
+from repro.op2.config import RuntimeConfig
 from repro.op2.runtime import Op2Runtime, LoopRecord, SyncRecord, get_op2_runtime, op2_session
 from repro.op2.deps import DatDependencyTracker
 
@@ -53,6 +54,7 @@ __all__ = [
     "build_plan",
     "ParLoop",
     "op_par_loop",
+    "RuntimeConfig",
     "Op2Runtime",
     "LoopRecord",
     "SyncRecord",

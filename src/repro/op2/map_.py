@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.op2.exceptions import MapBoundsError, Op2Error
 from repro.op2.set_ import OpSet
+
+#: Process-wide source of map identities (see :attr:`OpMap.uid`).
+_UIDS = itertools.count()
 
 #: Sentinel "identity map": the argument is addressed directly by the
 #: iteration index (OP2 spells this OP_ID).
@@ -19,9 +24,14 @@ class OpMap:
     index in ``to_set`` of the k-th neighbour of element ``e``. Validated at
     construction — a map that points outside its target set is the classic
     unstructured-mesh input bug.
+
+    ``uid`` is a process-unique identity assigned at construction. Since
+    ``values`` is frozen (read-only) after construction, the uid identifies
+    the map's *contents*, not just its name — plan caches key on it so two
+    same-named maps with different connectivity never alias.
     """
 
-    __slots__ = ("name", "from_set", "to_set", "arity", "values")
+    __slots__ = ("name", "from_set", "to_set", "arity", "values", "uid")
 
     def __init__(
         self,
@@ -55,6 +65,7 @@ class OpMap:
         self.arity = int(arity)
         self.values = values
         self.values.setflags(write=False)
+        self.uid = next(_UIDS)
 
     def targets(self, elements: np.ndarray | slice, idx: int) -> np.ndarray:
         """Indices in ``to_set`` addressed by column ``idx`` for ``elements``."""

@@ -139,9 +139,13 @@ class PlanCache:
         self.misses = 0
 
     def key(self, set_: OpSet, args: list[Arg], block_size: int) -> tuple:
+        # Keyed on map *identity* (OpMap.uid), not just the map name: map
+        # values are frozen at construction, so the uid pins the contents the
+        # coloring depends on. Two meshes with same-named sets/maps used in
+        # one session would otherwise alias each other's cache entries.
         reduction_key = tuple(
             sorted(
-                (arg.map_.name, arg.idx)
+                (arg.map_.name, arg.map_.uid, arg.idx)
                 for arg in _reduction_maps(args)
                 if arg.map_ is not None
             )

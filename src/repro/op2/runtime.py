@@ -17,6 +17,8 @@ from typing import Any, Iterator
 
 from repro.hpx.future import Future
 from repro.hpx.runtime import HPXRuntime, set_runtime
+from repro.hpx.threadpool import ThreadPoolEngine
+from repro.op2.config import RuntimeConfig
 from repro.op2.exceptions import Op2Error
 from repro.op2.parloop import ParLoop
 from repro.op2.plan import DEFAULT_BLOCK_SIZE, Plan, PlanCache
@@ -67,6 +69,8 @@ class Op2Runtime:
         num_threads: int = 1,
         block_size: int = DEFAULT_BLOCK_SIZE,
         granularity: str = "set",
+        config: RuntimeConfig | None = None,
+        backend_options: dict | None = None,
     ) -> None:
         from repro.backends.registry import create_backend
 
@@ -77,16 +81,26 @@ class Op2Runtime:
                 f"granularity must be 'set' or 'block', got {granularity!r}"
             )
         self.backend_name = backend
-        self.backend = create_backend(backend)
+        self.backend = create_backend(backend, **(backend_options or {}))
         self.num_threads = int(num_threads)
         self.block_size = int(block_size)
         self.granularity = granularity
+        self.config = config if config is not None else RuntimeConfig()
+        self.num_workers = self.config.resolve_workers(self.num_threads)
         self.hpx = HPXRuntime(self.num_threads)
         self.plans = PlanCache()
         self.log = LoopLog()
+        self._pool: ThreadPoolEngine | None = None
         self._next_loop_id = 0
         self._future_loop_ids: dict[int, int] = {}
         self.backend.on_attach(self)
+
+    @property
+    def thread_pool(self) -> ThreadPoolEngine:
+        """The real worker pool for ``threads`` mode (created lazily)."""
+        if self._pool is None:
+            self._pool = ThreadPoolEngine(self.num_workers)
+        return self._pool
 
     # -- loop execution -----------------------------------------------------
 
@@ -96,7 +110,10 @@ class Op2Runtime:
         loop_id = self._next_loop_id
         self._next_loop_id += 1
         self.log.append(LoopRecord(loop_id=loop_id, loop=loop, plan=plan))
-        result = self.backend.run_loop(self, loop, plan, loop_id)
+        if self.config.threaded:
+            result = self.backend.run_loop_threads(self, loop, plan, loop_id)
+        else:
+            result = self.backend.run_loop(self, loop, plan, loop_id)
         if isinstance(result, Future):
             self._future_loop_ids[id(result)] = loop_id
         return result
@@ -120,6 +137,16 @@ class Op2Runtime:
         """Complete all outstanding asynchronous work."""
         self.backend.finalize(self)
         self.hpx.executor.drain()
+
+    def close(self) -> None:
+        """Release OS resources (thread-pool workers). Idempotent.
+
+        The runtime remains usable afterwards: the pool is re-created lazily
+        if another threaded loop runs.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # -- session management -------------------------------------------------
 
@@ -165,8 +192,15 @@ def op2_session(
     num_threads: int = 1,
     block_size: int = DEFAULT_BLOCK_SIZE,
     granularity: str = "set",
+    mode: str = "sim",
+    num_workers: int | None = None,
+    backend_options: dict | None = None,
 ) -> Iterator[Op2Runtime]:
     """Scoped OP2 session: installs the runtime, finishes and restores on exit.
+
+    ``mode="threads"`` selects real shared-memory execution on
+    ``num_workers`` OS threads (default: ``num_threads``); the default
+    ``"sim"`` keeps the deterministic cooperative path.
 
     >>> from repro.op2 import op2_session
     >>> with op2_session(backend="openmp", num_threads=4) as rt:
@@ -177,6 +211,8 @@ def op2_session(
         num_threads=num_threads,
         block_size=block_size,
         granularity=granularity,
+        config=RuntimeConfig(mode=mode, num_workers=num_workers),
+        backend_options=backend_options,
     )
     previous = rt.activate()
     try:
@@ -184,3 +220,4 @@ def op2_session(
         rt.finish()
     finally:
         rt.deactivate(previous)
+        rt.close()

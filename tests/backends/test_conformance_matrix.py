@@ -1,0 +1,93 @@
+"""Differential conformance: every backend x mode x worker count vs seq.
+
+The matrix the issue demands: the Airfoil mini-mesh runs N steps under every
+(backend, execution mode, worker count) combination and every state dat must
+match the sequential reference within 1e-12. This is the contract that makes
+``mode="threads"`` trustworthy — real OS threads may reorder block execution,
+but coloring + deferred global reductions must keep the numbers aligned with
+the single-threaded semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import AirfoilApp
+from repro.op2 import op2_session
+
+BACKENDS = ["openmp", "foreach", "foreach_static", "hpx_async", "hpx_dataflow"]
+MODES = ["sim", "threads"]
+WORKERS = [1, 4]
+NITER = 3
+#: Small enough that the 96-cell mini-mesh yields several blocks (and thus
+#: several colors on the indirect loops) — otherwise the matrix would never
+#: exercise cross-block concurrency.
+BLOCK_SIZE = 16
+TOL = 1e-12
+
+#: State dats compared against the reference, by app attribute name.
+STATE_DATS = ["p_q", "p_qold", "p_res", "p_adt"]
+
+
+@pytest.fixture(scope="module")
+def mini_mesh():
+    from repro.airfoil import generate_mesh
+
+    return generate_mesh(ni=16, nj=6)
+
+
+@pytest.fixture(scope="module")
+def seq_reference(mini_mesh):
+    """State arrays + result of the plain sequential run (mode="sim")."""
+    with op2_session(backend="seq", num_threads=1, block_size=BLOCK_SIZE) as rt:
+        app = AirfoilApp(mini_mesh)
+        result = app.run(rt, NITER)
+    state = {name: getattr(app, name).data.copy() for name in STATE_DATS}
+    return state, result
+
+
+@pytest.mark.parametrize("num_workers", WORKERS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conformance_matrix(backend, mode, num_workers, mini_mesh, seq_reference):
+    ref_state, ref_result = seq_reference
+    with op2_session(
+        backend=backend,
+        num_threads=num_workers,
+        block_size=BLOCK_SIZE,
+        mode=mode,
+        num_workers=num_workers,
+    ) as rt:
+        app = AirfoilApp(mini_mesh)
+        result = app.run(rt, NITER)
+
+    for name in STATE_DATS:
+        diff = float(np.abs(getattr(app, name).data - ref_state[name]).max())
+        assert diff <= TOL, (
+            f"{backend}/{mode}/{num_workers}w: {name} deviates from seq "
+            f"by {diff:.3e} (tol {TOL:.0e})"
+        )
+    # The scalar reduction (rms) must conform too — it flows through the
+    # deferred global-partial path in threads mode.
+    assert result.rms_total == pytest.approx(ref_result.rms_total, abs=TOL)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_threads_mode_matches_sim_mode_exactly_per_backend(backend, mini_mesh):
+    """Same backend, sim vs threads: state agrees within the matrix tol."""
+    states = {}
+    for mode in MODES:
+        with op2_session(
+            backend=backend,
+            num_threads=4,
+            block_size=BLOCK_SIZE,
+            mode=mode,
+            num_workers=4,
+        ) as rt:
+            app = AirfoilApp(mini_mesh)
+            app.run(rt, NITER)
+        states[mode] = {
+            name: getattr(app, name).data.copy() for name in STATE_DATS
+        }
+    for name in STATE_DATS:
+        diff = float(np.abs(states["threads"][name] - states["sim"][name]).max())
+        assert diff <= TOL

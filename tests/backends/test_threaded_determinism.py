@@ -1,0 +1,144 @@
+"""Threaded mode must be deterministic: same input, same bits, every run.
+
+Real thread pools complete tasks in nondeterministic order; the threads mode
+still promises bit-identical results because (a) dats are only written to
+disjoint rows/spans inside a color and (b) global MIN/MAX/INC partials are
+combined in task-*submission* order, never completion order
+(see ``repro/hpx/threadpool.py`` and ``repro/backends/threaded.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.airfoil import AirfoilApp
+from repro.op2 import (
+    OP_ID,
+    OP_INC,
+    OP_MAX,
+    OP_MIN,
+    OP_READ,
+    Kernel,
+    OpDat,
+    OpGlobal,
+    OpSet,
+    op2_session,
+    op_arg_dat,
+    op_arg_gbl,
+    op_par_loop,
+)
+
+NITER = 3
+WORKERS = 8
+STATE_DATS = ["p_q", "p_qold", "p_res", "p_adt"]
+
+
+def _run_airfoil(mesh, backend):
+    with op2_session(
+        backend=backend,
+        num_threads=WORKERS,
+        block_size=16,
+        mode="threads",
+        num_workers=WORKERS,
+    ) as rt:
+        app = AirfoilApp(mesh)
+        result = app.run(rt, NITER)
+    state = {name: getattr(app, name).data.copy() for name in STATE_DATS}
+    return state, result
+
+
+@pytest.mark.parametrize(
+    "backend", ["openmp", "foreach", "foreach_static", "hpx_async", "hpx_dataflow"]
+)
+def test_airfoil_bit_identical_across_runs(backend, tiny_mesh):
+    s1, r1 = _run_airfoil(tiny_mesh, backend)
+    s2, r2 = _run_airfoil(tiny_mesh, backend)
+    for name in STATE_DATS:
+        assert np.array_equal(s1[name], s2[name]), (
+            f"{backend}: {name} differs between identical threaded runs"
+        )
+    # Exact equality, not approx: the rms flows through deferred partials.
+    assert r1.rms_total == r2.rms_total
+    assert r1.q_norm == r2.q_norm
+
+
+def _global_reduction_run():
+    """One direct loop reducing INC/MIN/MAX globals over many chunks."""
+    n = 4096
+    with op2_session(
+        backend="foreach_static",
+        num_threads=WORKERS,
+        block_size=32,  # 128 blocks -> many concurrent tasks per batch
+        mode="threads",
+        num_workers=WORKERS,
+        backend_options={"static_chunk": 3},
+    ) as rt:
+        cells = OpSet("cells", n)
+        # Irrational-frequency samples: well spread, reproducible, no RNG.
+        src = OpDat("src", cells, 1, np.sin(np.arange(n) * 0.7537) * 1e3)
+        total = OpGlobal("total", 1, 0.0)
+        lo = OpGlobal("lo", 1, np.inf)
+        hi = OpGlobal("hi", 1, -np.inf)
+
+        def kv(a, t, mn, mx):
+            t[:] = a * a
+            mn[:] = a
+            mx[:] = a
+
+        op_par_loop(
+            Kernel("reduce3", lambda a, t, mn, mx: None, kv),
+            "reduce3",
+            cells,
+            op_arg_dat(src, -1, OP_ID, OP_READ),
+            op_arg_gbl(total, OP_INC),
+            op_arg_gbl(lo, OP_MIN),
+            op_arg_gbl(hi, OP_MAX),
+        )
+        rt.finish()
+        return total.value(), lo.value(), hi.value()
+
+
+def test_global_reductions_bit_identical_across_runs():
+    first = _global_reduction_run()
+    second = _global_reduction_run()
+    # == on floats: bit-identity is the contract, approx would hide the bug.
+    assert first == second
+
+
+def test_global_inc_partials_combined_in_submission_order():
+    """The INC total equals a fixed left-to-right chunkwise fold.
+
+    If partials were folded in completion order the value would drift between
+    runs; here we also pin it to the *predicted* fold so a silent reordering
+    of submission itself would fail.
+    """
+    n = 1024
+    chunk = 37
+    data = np.sin(np.arange(n) * 1.317) * 1e3
+    expected = 0.0
+    for start in range(0, n, chunk):
+        expected += float(np.sum(data[start : start + chunk] ** 2))
+
+    with op2_session(
+        backend="foreach_static",
+        num_threads=WORKERS,
+        block_size=chunk,
+        mode="threads",
+        num_workers=WORKERS,
+        backend_options={"static_chunk": 1},  # one task per block
+    ) as rt:
+        cells = OpSet("cells", n)
+        src = OpDat("src", cells, 1, data)
+        total = OpGlobal("total", 1, 0.0)
+
+        def kv(a, t):
+            t[:] = a * a
+
+        op_par_loop(
+            Kernel("sumsq", lambda a, t: None, kv),
+            "sumsq",
+            cells,
+            op_arg_dat(src, -1, OP_ID, OP_READ),
+            op_arg_gbl(total, OP_INC),
+        )
+        rt.finish()
+        assert total.value() == expected

@@ -1,0 +1,113 @@
+"""Unit tests for the real-OS-thread pool behind ``mode="threads"``."""
+
+import threading
+import time
+
+import pytest
+
+from repro.hpx.threadpool import PoolStats, ThreadPoolEngine
+from repro.util.validate import ValidationError
+
+
+class TestLifecycle:
+    def test_lazy_start(self):
+        pool = ThreadPoolEngine(2)
+        assert not pool.active
+        pool.run_batch([lambda: 1])
+        assert pool.active
+        pool.close()
+        assert not pool.active
+
+    def test_close_is_idempotent(self):
+        pool = ThreadPoolEngine(2)
+        pool.run_batch([lambda: 1])
+        pool.close()
+        pool.close()
+        assert not pool.active
+
+    def test_reusable_after_close(self):
+        pool = ThreadPoolEngine(2)
+        assert pool.run_batch([lambda: "a"]) == ["a"]
+        pool.close()
+        assert pool.run_batch([lambda: "b"]) == ["b"]
+        pool.close()
+
+    def test_context_manager_closes(self):
+        with ThreadPoolEngine(2) as pool:
+            pool.run_batch([lambda: 1])
+            assert pool.active
+        assert not pool.active
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ThreadPoolEngine(0)
+        with pytest.raises(ValidationError):
+            ThreadPoolEngine(-3)
+
+
+class TestRunBatch:
+    def test_empty_batch(self):
+        pool = ThreadPoolEngine(2)
+        assert pool.run_batch([]) == []
+        assert not pool.active  # nothing submitted: pool never started
+
+    def test_results_in_submission_order_not_completion_order(self):
+        """Later-submitted tasks finishing first must not reorder results."""
+        with ThreadPoolEngine(4) as pool:
+            delays = [0.05, 0.0, 0.03, 0.0]
+
+            def task(i, d):
+                time.sleep(d)
+                return i
+
+            out = pool.run_batch(
+                [lambda i=i, d=d: task(i, d) for i, d in enumerate(delays)]
+            )
+            assert out == [0, 1, 2, 3]
+
+    def test_tasks_run_on_worker_threads(self):
+        with ThreadPoolEngine(2) as pool:
+            names = pool.run_batch(
+                [lambda: threading.current_thread().name for _ in range(4)]
+            )
+        assert all(n.startswith("op2-worker") for n in names)
+
+    def test_first_error_in_submission_order_wins(self):
+        with ThreadPoolEngine(2) as pool:
+            def boom(msg):
+                raise RuntimeError(msg)
+
+            with pytest.raises(RuntimeError, match="first"):
+                pool.run_batch(
+                    [lambda: 1, lambda: boom("first"), lambda: boom("second")]
+                )
+
+    def test_all_tasks_complete_before_error_propagates(self):
+        """No worker may still be mutating shared state after run_batch."""
+        done = []
+        with ThreadPoolEngine(2) as pool:
+            def slow_ok():
+                time.sleep(0.05)
+                done.append(True)
+
+            def fail():
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError):
+                pool.run_batch([fail, slow_ok, slow_ok])
+        assert len(done) == 2
+
+
+class TestStats:
+    def test_counters(self):
+        with ThreadPoolEngine(2) as pool:
+            pool.run_batch([lambda: 1, lambda: 2, lambda: 3])
+            pool.run_batch([lambda: 4])
+            assert pool.stats.tasks_submitted == 4
+            assert pool.stats.batches == 2
+            assert pool.stats.max_batch_width == 3
+
+    def test_reset(self):
+        stats = PoolStats(tasks_submitted=7, batches=2, max_batch_width=5)
+        stats.reset()
+        assert stats == PoolStats()

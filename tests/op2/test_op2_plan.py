@@ -130,3 +130,45 @@ class TestPlanCache:
         p1 = cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
         p2 = cache.get(edges, [op_arg_dat(other, 0, e2c, OP_INC)], 4)
         assert p1 is p2  # same (set, map, idx) reduction pattern
+
+    def test_same_names_different_map_contents_do_not_alias(self):
+        """Regression: the key must pin map *contents*, not just map names.
+
+        Two meshes in one session can legitimately carry identically-named
+        sets and maps with different connectivity; serving one mesh's colored
+        plan for the other is silently wrong (races in threaded mode).
+        """
+        n = 12
+
+        def world(shift: int):
+            edges = OpSet("edges", n)
+            cells = OpSet("cells", n)
+            vals = np.stack(
+                [np.arange(n), (np.arange(n) + shift) % n], axis=1
+            )
+            e2c = OpMap("e2c", edges, cells, 2, vals)
+            res = OpDat("res", cells, 1)
+            return edges, e2c, res
+
+        cache = PlanCache()
+        plans = []
+        for shift in (1, 5):
+            edges, e2c, res = world(shift)
+            plans.append(
+                cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
+            )
+        assert cache.misses == 2 and cache.hits == 0
+        assert plans[0] is not plans[1]
+
+    def test_same_map_object_still_hits_after_uid_keying(self, ring):
+        edges, cells, e2c, res = ring
+        cache = PlanCache()
+        p1 = cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
+        p2 = cache.get(edges, [op_arg_dat(res, 0, e2c, OP_INC)], 4)
+        assert p1 is p2
+        assert cache.hits == 1
+
+    def test_map_uids_are_unique_per_instance(self, ring):
+        edges, cells, e2c, res = ring
+        clone = OpMap("e2c", edges, cells, 2, e2c.values.copy())
+        assert clone.uid != e2c.uid
