@@ -69,11 +69,16 @@ def _print_table():
               "(paper: same performance on 1 thread)")
 
 
-def test_fig15_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+def test_fig15_threads_wallclock(
+    bench_workers, bench_trace_dir, paper_mesh, backend_runs, cost_model
+):
     """Measured fig15: all four strategies on a real thread pool."""
     workers = bench_workers
     specs = [(backend, label, None) for backend, label in BACKENDS]
-    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    results = measure_matrix(
+        specs, PAPER_CONFIG, paper_mesh, workers, repeats=2,
+        timing=True, trace_dir=bench_trace_dir, trace_tag="fig15-",
+    )
     sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
     print()
     print(

@@ -79,7 +79,9 @@ def _print_table():
     assert omp < auto, "OpenMP must beat plain for_each"
 
 
-def test_fig16_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+def test_fig16_threads_wallclock(
+    bench_workers, bench_trace_dir, paper_mesh, backend_runs, cost_model
+):
     """Measured fig16: the same three strategies on a real thread pool.
 
     Reports wall-clock milliseconds next to the simulated makespans; asserts
@@ -93,7 +95,10 @@ def test_fig16_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_m
         ("foreach", "for_each auto", None),
         ("foreach_static", "for_each static", {"static_chunk": chunk}),
     ]
-    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=3)
+    results = measure_matrix(
+        specs, PAPER_CONFIG, paper_mesh, workers, repeats=3,
+        timing=True, trace_dir=bench_trace_dir, trace_tag="fig16-",
+    )
     sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
 
     print()

@@ -64,11 +64,16 @@ def _print_table():
     assert gain > 0.0, "async must beat OpenMP at 32 threads"
 
 
-def test_fig17_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+def test_fig17_threads_wallclock(
+    bench_workers, bench_trace_dir, paper_mesh, backend_runs, cost_model
+):
     """Measured fig17: OpenMP vs async on a real thread pool."""
     workers = bench_workers
     specs = [("openmp", "omp parallel for", None), ("hpx_async", "async", None)]
-    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    results = measure_matrix(
+        specs, PAPER_CONFIG, paper_mesh, workers, repeats=2,
+        timing=True, trace_dir=bench_trace_dir, trace_tag="fig17-",
+    )
     sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
     print()
     print(

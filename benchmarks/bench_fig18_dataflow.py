@@ -66,14 +66,19 @@ def _print_table():
     )
 
 
-def test_fig18_threads_wallclock(bench_workers, paper_mesh, backend_runs, cost_model):
+def test_fig18_threads_wallclock(
+    bench_workers, bench_trace_dir, paper_mesh, backend_runs, cost_model
+):
     """Measured fig18: OpenMP vs dataflow on a real thread pool."""
     workers = bench_workers
     specs = [
         ("openmp", "omp parallel for", None),
         ("hpx_dataflow", "dataflow", None),
     ]
-    results = measure_matrix(specs, PAPER_CONFIG, paper_mesh, workers, repeats=2)
+    results = measure_matrix(
+        specs, PAPER_CONFIG, paper_mesh, workers, repeats=2,
+        timing=True, trace_dir=bench_trace_dir, trace_tag="fig18-",
+    )
     sim = simulated_ms(specs, backend_runs, PAPER_CONFIG, workers, cost_model)
     print()
     print(

@@ -84,25 +84,38 @@ def _print_table():
     assert best == "hpx_dataflow"
 
 
-def test_fig19_threads_wallclock(bench_workers):
+def test_fig19_threads_wallclock(bench_workers, bench_trace_dir):
     """Measured fig19: weak scaling — the mesh grows with the worker count.
 
     Weak-scaling efficiency is T(1 worker)/T(w workers) with the per-worker
     problem held constant; on an unloaded multi-core host the ideal is 1.0.
     """
     workers = bench_workers
+    top = max(workers)
     results: dict[tuple[str, int], float] = {}
+    timing_reports: list[str] = []
     meshes = {}
     for w in workers:
         ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, w)
         meshes[w] = generate_mesh(ni=ni, nj=nj)
     for backend in BACKENDS:
         for w in workers:
+            trace_path = (
+                bench_trace_dir / f"fig19-{backend}-{w}w.json"
+                if bench_trace_dir is not None and w == top
+                else None
+            )
             run = measure_backend(
-                backend, WEAK_CONFIG, meshes[w], num_workers=w, repeats=2
+                backend, WEAK_CONFIG, meshes[w], num_workers=w, repeats=2,
+                timing=True, trace_path=trace_path,
             )
             results[(backend, w)] = run.wall_seconds * 1000.0
             assert run.wall_seconds > 0.0
+            if w == top and run.timing is not None:
+                timing_reports.append(
+                    f"-- per-kernel timing: {backend} @ {top} worker(s) --\n"
+                    + run.timing.render()
+                )
     base = workers[0]
     table = Table(
         ["workers", "cells"]
@@ -120,6 +133,8 @@ def test_fig19_threads_wallclock(bench_workers):
         f"{available_cores()} usable core(s)) =="
     )
     print(table.render())
+    for report in timing_reports:
+        print(report)
 
 
 if __name__ == "__main__":

@@ -44,6 +44,13 @@ def pytest_addoption(parser):
         default="1,4",
         help="comma-separated worker counts for --mode threads (default: 1,4)",
     )
+    group.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        help="directory for per-run Chrome-trace JSON (--mode threads only); "
+        "created if missing, openable in ui.perfetto.dev",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -67,6 +74,17 @@ def pytest_collection_modifyitems(config, items):
 @pytest.fixture(scope="session")
 def bench_mode(request) -> str:
     return request.config.getoption("--mode")
+
+
+@pytest.fixture(scope="session")
+def bench_trace_dir(request) -> Path | None:
+    """Directory for Chrome-trace artifacts, or None when not requested."""
+    raw = request.config.getoption("--trace-dir")
+    if not raw:
+        return None
+    path = Path(raw)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 @pytest.fixture(scope="session")

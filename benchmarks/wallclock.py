@@ -58,11 +58,26 @@ def measure_matrix(
     mesh,
     workers: tuple[int, ...],
     repeats: int = 3,
+    timing: bool = False,
+    trace_dir=None,
+    trace_tag: str = "",
 ) -> dict[tuple[str, int], MeasuredRun]:
-    """Measured run for every (spec, worker count) combination."""
+    """Measured run for every (spec, worker count) combination.
+
+    ``timing=True`` attaches per-kernel timing summaries to every run
+    (rendered by :func:`wallclock_report`); ``trace_dir`` additionally writes
+    one Chrome-trace JSON per (spec, workers) pair there, with file names
+    prefixed by ``trace_tag``.
+    """
     results: dict[tuple[str, int], MeasuredRun] = {}
     for backend, label, options in specs:
         for w in workers:
+            trace_path = None
+            if trace_dir is not None:
+                slug = label.replace(" ", "_").replace("/", "-")
+                trace_path = os.path.join(
+                    str(trace_dir), f"{trace_tag}{slug}-{w}w.json"
+                )
             results[(label, w)] = measure_backend(
                 backend,
                 config,
@@ -70,6 +85,8 @@ def measure_matrix(
                 num_workers=w,
                 repeats=repeats,
                 backend_options=options,
+                timing=timing,
+                trace_path=trace_path,
             )
     return results
 
@@ -120,6 +137,16 @@ def wallclock_report(
         ]
         if parts:
             lines.append(f"  {label}: speedup vs {base}w: {', '.join(parts)}")
+    # Per-kernel timing tables (op_timing_output) at the top worker count,
+    # when the matrix was measured with timing enabled.
+    top = workers[-1]
+    for _, label, _ in specs:
+        run = results[(label, top)]
+        if run.timing is not None:
+            lines.append(f"-- per-kernel timing: {label} @ {top} worker(s) --")
+            lines.append(run.timing.render())
+        if run.trace_events:
+            lines.append(f"   ({run.trace_events} Chrome-trace events written)")
     return "\n".join(lines)
 
 

@@ -271,6 +271,14 @@ class Backend(ABC):
     def finalize(self, rt: "Op2Runtime") -> None:
         """Complete outstanding asynchronous work (no-op for sync backends)."""
 
+    def cancel(self, rt: "Op2Runtime") -> None:
+        """Drop backend-side scheduling state after an aborted session.
+
+        Called instead of :meth:`finalize` when the session body raised.
+        Backends holding futures or dependency trackers override this so a
+        runtime reused by a later session does not replay stale work.
+        """
+
     @abstractmethod
     def emit(
         self,

@@ -111,6 +111,12 @@ class HpxDataflowBackend(Backend):
                 fut.get()
         rt.hpx.executor.drain()
 
+    def cancel(self, rt: Op2Runtime) -> None:
+        # Abandon the dependency tree: outstanding dat-futures must not feed
+        # the dataflow of whatever session next reuses this runtime.
+        self.tracker.reset()
+        self._futures.clear()
+
     # -- emission ------------------------------------------------------------
 
     def _block_deps(

@@ -98,13 +98,27 @@ def run_loop_threaded(
     chunker: Chunker,
     mode: str = "vectorized",
 ) -> None:
-    """Execute ``loop`` under ``plan`` on the runtime's real thread pool."""
-    pool = rt.thread_pool
-    partials: list[tuple[Arg, np.ndarray]] = []
+    """Execute ``loop`` under ``plan`` on the runtime's real thread pool.
 
-    for class_blocks in plan.classes:
+    When the runtime carries a :class:`~repro.obs.recorder.TraceRecorder`
+    (``rt.obs``), the orchestrating thread records per-loop and per-color
+    spans plus serial-prefix and reduction-fold attribution; the pool's
+    workers record their own task spans. Without a recorder every hook is a
+    single ``is not None`` check.
+    """
+    pool = rt.thread_pool
+    rec = rt.obs
+    partials: list[tuple[Arg, np.ndarray]] = []
+    t_loop = rec.now() if rec is not None else 0.0
+    ncolors = 0
+    ntasks = 0
+    prefix_s = 0.0
+
+    for ci, class_blocks in enumerate(plan.classes):
         if not class_blocks:
             continue
+        ncolors += 1
+        t_color = rec.now() if rec is not None else 0.0
         chunks = chunker.chunks(len(class_blocks), pool.num_workers)
         thunks = []
         for chunk in chunks:
@@ -114,17 +128,47 @@ def run_loop_threaded(
             if chunk.serial_prefix:
                 # HPX's auto partitioner: measurement pass runs on the caller
                 # before any parallel chunk is spawned.
-                partials.extend(_run_spans(loop, spans, mode))
+                if rec is not None:
+                    t0 = rec.now()
+                    partials.extend(_run_spans(loop, spans, mode))
+                    t1 = rec.now()
+                    prefix_s += t1 - t0
+                    rec.span(
+                        f"{loop.name}.c{ci}.prefix", "prefix", loop.name,
+                        t0, t1, color=ci, busy=True,
+                    )
+                else:
+                    partials.extend(_run_spans(loop, spans, mode))
             else:
                 thunks.append(lambda s=spans: _run_spans(loop, s, mode))
+        ntasks += len(thunks)
         # One fork-join batch per color: run_batch returns in submission
         # order only after every task finished (the color barrier).
-        for task_partials in pool.run_batch(thunks):
+        for task_partials in pool.run_batch(thunks, loop=loop.name, color=ci):
             partials.extend(task_partials)
+        if rec is not None:
+            rec.span(
+                f"{loop.name}.c{ci}", "color", loop.name,
+                t_color, rec.now(), color=ci,
+            )
 
     # Deferred side effects, applied deterministically by the calling thread
     # (one version bump per writing arg, as a whole-set execute_loop does).
-    apply_global_partials(partials)
+    fold_s = 0.0
+    if rec is not None and partials:
+        t0 = rec.now()
+        apply_global_partials(partials)
+        fold_s = rec.now() - t0
+        rec.span(f"{loop.name}.fold", "fold", loop.name, t0, t0 + fold_s, busy=True)
+    else:
+        apply_global_partials(partials)
     for arg in loop.args:
         if not arg.is_global and arg.access.writes:
             arg.dat.bump_version()
+    if rec is not None:
+        rec.span(loop.name, "loop", loop.name, t_loop, rec.now())
+        _count, task_s = rec.take_task_totals(loop.name)
+        rec.record_loop(
+            loop.name, rec.now() - t_loop, ncolors, ntasks,
+            task_s, prefix_s, fold_s,
+        )

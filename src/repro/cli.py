@@ -72,6 +72,51 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_session_kwargs(args: argparse.Namespace) -> dict:
+    """Session observability options: live recording only exists in threads
+    mode; sim-mode traces are replayed post-hoc (:func:`_emit_observability`)."""
+    if args.mode == "threads":
+        return {"trace": args.trace is not None, "timing": args.timing}
+    return {}
+
+
+def _emit_observability(rt, args: argparse.Namespace) -> None:
+    """Print the ``--timing`` table and write the ``--trace`` JSON.
+
+    Threads mode reads the runtime's live recorder; sim mode replays the
+    recorded loop log on the machine model at ``--threads`` so both modes
+    produce Chrome traces that open in the same viewer.
+    """
+    if args.trace is None and not args.timing:
+        return
+    if args.mode == "threads":
+        if args.timing:
+            print("== per-kernel timing (op_timing_output) ==")
+            print(rt.timing_summary().render())
+        if args.trace is not None:
+            n = rt.export_trace(args.trace)
+            print(f"trace: wrote {n} events to {args.trace} (open in ui.perfetto.dev)")
+        return
+    from repro.backends.costs import LoopCostModel
+    from repro.sim.chrometrace import export_chrome_trace
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.machine import paper_machine
+    from repro.util.tables import Table
+
+    machine = paper_machine()
+    graph = rt.backend.emit(rt.log, machine, args.threads, LoopCostModel())
+    sim = SimulationEngine(machine, args.threads).run(graph, collect_trace=True)
+    if args.timing:
+        table = Table(["loop", "sim busy ms"])
+        for name, us in sorted(sim.trace.time_by_loop().items()):
+            table.add_row([name, us / 1000.0])
+        print(f"== simulated per-loop busy time at {args.threads} threads ==")
+        print(table.render())
+    if args.trace is not None:
+        n = export_chrome_trace(sim.trace, args.trace)
+        print(f"trace: wrote {n} events to {args.trace} (open in ui.perfetto.dev)")
+
+
 def _cmd_airfoil(args: argparse.Namespace) -> int:
     from time import perf_counter
 
@@ -87,6 +132,7 @@ def _cmd_airfoil(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         mode=args.mode,
         num_workers=args.workers,
+        **_obs_session_kwargs(args),
     ) as rt:
         app = AirfoilApp(mesh)
         start = perf_counter()
@@ -101,6 +147,7 @@ def _cmd_airfoil(args: argparse.Namespace) -> int:
     if args.mode == "threads":
         workers = args.workers if args.workers is not None else args.threads
         print(f"measured wall clock: {wall * 1000:.1f} ms on {workers} worker thread(s)")
+    _emit_observability(rt, args)
     return 0
 
 
@@ -115,6 +162,7 @@ def _cmd_heat(args: argparse.Namespace) -> int:
         num_threads=args.threads,
         mode=args.mode,
         num_workers=args.workers,
+        **_obs_session_kwargs(args),
     ) as rt:
         app = HeatApp(mesh)
         result = app.run(rt, max_steps=args.steps, tol=args.tol, check_every=10)
@@ -122,6 +170,7 @@ def _cmd_heat(args: argparse.Namespace) -> int:
         f"{result.steps} steps on {args.backend}: converged={result.converged}, "
         f"max |dT| {result.max_change:.3e}, energy {result.total_energy:.9f}"
     )
+    _emit_observability(rt, args)
     return 0
 
 
@@ -173,6 +222,17 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome-trace JSON of the run (view at ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--timing", action="store_true",
+        help="print a per-kernel timing table (OP2 op_timing_output style)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -202,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="OS threads for --mode threads (default: --threads)",
     )
+    _add_obs_arguments(p)
 
     p = sub.add_parser("heat", help="run the heat application")
     p.add_argument("--backend", default="hpx_dataflow")
@@ -218,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="OS threads for --mode threads (default: --threads)",
     )
+    _add_obs_arguments(p)
 
     p = sub.add_parser("translate", help="source-to-source translate")
     p.add_argument("--target", default="hpx_dataflow")

@@ -21,11 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from pathlib import Path
+
 from repro.airfoil import AirfoilApp, AirfoilResult, ReferenceAirfoil, generate_mesh
 from repro.airfoil.meshgen import AirfoilMesh
 from repro.airfoil.validation import compare_states
 from repro.backends.costs import LoopCostModel
 from repro.experiments.config import ExperimentConfig
+from repro.obs.timing import TimingSummary
 from repro.op2.config import RuntimeConfig
 from repro.op2.runtime import LoopLog, Op2Runtime
 from repro.sim.engine import SimResult, SimulationEngine
@@ -102,6 +105,10 @@ class MeasuredRun:
     result: AirfoilResult
     #: max relative deviation from the numpy reference, per field.
     validation: dict[str, float] = field(default_factory=dict)
+    #: per-kernel timing summary of the last repeat (``timing=True`` runs).
+    timing: TimingSummary | None = None
+    #: Chrome-trace events written (``trace_path`` runs; 0 otherwise).
+    trace_events: int = 0
 
 
 def measure_backend(
@@ -112,24 +119,36 @@ def measure_backend(
     repeats: int = 3,
     validate: bool = False,
     backend_options: dict | None = None,
+    timing: bool = False,
+    trace_path: str | Path | None = None,
 ) -> MeasuredRun:
     """Measured (``mode="threads"``) run of the Airfoil app under ``backend``.
 
     Each repeat builds a fresh app state and thread pool; the reported
     ``wall_seconds`` is the best repeat (standard benchmarking practice —
     the minimum is the least noise-contaminated estimate).
+
+    ``timing=True`` attaches the last repeat's per-kernel summary;
+    ``trace_path`` additionally records per-task events and writes the
+    Chrome-trace JSON there.
     """
     if mesh is None:
         mesh = generate_mesh(**config.mesh_kwargs())
     times: list[float] = []
     app = None
     result = None
+    rt = None
     for _ in range(max(1, repeats)):
         rt = Op2Runtime(
             backend=backend,
             num_threads=num_workers,
             block_size=config.block_size,
-            config=RuntimeConfig(mode="threads", num_workers=num_workers),
+            config=RuntimeConfig(
+                mode="threads",
+                num_workers=num_workers,
+                timing=timing,
+                trace=trace_path is not None,
+            ),
             backend_options=backend_options,
         )
         previous = rt.activate()
@@ -148,7 +167,9 @@ def measure_backend(
         ref.run(config.niter)
         validation = compare_states(app, ref, tol=1e-9)
 
-    assert result is not None
+    assert result is not None and rt is not None
+    summary = rt.timing_summary() if rt.obs is not None else None
+    events = rt.export_trace(trace_path) if trace_path is not None else 0
     return MeasuredRun(
         backend=backend,
         num_workers=num_workers,
@@ -156,6 +177,8 @@ def measure_backend(
         times=times,
         result=result,
         validation=validation,
+        timing=summary,
+        trace_events=events,
     )
 
 

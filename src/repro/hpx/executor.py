@@ -157,6 +157,27 @@ class TaskExecutor:
         while self.pending():
             self.run_until(lambda: self.pending() == 0)
 
+    def cancel_pending(self) -> int:
+        """Discard every queued task without running it; returns the count.
+
+        Error-path cleanup: when a session body raises, its queued loop tasks
+        must not linger and silently execute inside whatever session next
+        drives this executor. Orphaned futures are failed with
+        :class:`FutureError` so any surviving ``get()`` raises instead of
+        deadlocking; continuations fired by those failures are discarded too.
+        """
+        cancelled = 0
+        while self.pending():
+            for q in self._queues:
+                while q:
+                    task = q.popleft()
+                    cancelled += 1
+                    if task.future is not None and not task.future.is_ready():
+                        task.future.set_exception(
+                            FutureError(f"task {task.name!r} cancelled by session abort")
+                        )
+        return cancelled
+
     def reset_stats(self) -> None:
         self.stats.reset(self.num_workers)
 

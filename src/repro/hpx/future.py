@@ -37,7 +37,9 @@ class Future:
     attached with :meth:`then` run on the executor once the value is set.
     """
 
-    __slots__ = ("_state", "_value", "_error", "_callbacks", "_executor", "name")
+    __slots__ = (
+        "_state", "_value", "_error", "_callbacks", "_executor", "name", "loop_id",
+    )
 
     def __init__(self, executor: "TaskExecutor | None" = None, name: str = "") -> None:
         self._state = _State.PENDING
@@ -46,6 +48,10 @@ class Future:
         self._callbacks: list[Callable[[Future], None]] = []
         self._executor = executor
         self.name = name
+        #: op_par_loop id when this future is a loop result (set by the OP2
+        #: runtime). Stored on the future itself — an id()-keyed side table
+        #: breaks when CPython reuses a collected future's address.
+        self.loop_id: int | None = None
 
     # -- inspection ---------------------------------------------------------
 

@@ -11,6 +11,10 @@ Determinism contract: :meth:`ThreadPoolEngine.run_batch` always returns
 results in *submission* order, never completion order — callers combine
 floating-point partials (global MIN/MAX/INC reductions) in a fixed order, so
 repeated runs with the same worker count are bit-identical.
+
+Observability: attaching a :class:`~repro.obs.recorder.TraceRecorder` to
+:attr:`ThreadPoolEngine.recorder` makes every batch task report a worker-side
+timed span; with no recorder attached the execution path is unchanged.
 """
 
 from __future__ import annotations
@@ -18,9 +22,12 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.util.validate import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import TraceRecorder
 
 
 @dataclass
@@ -28,13 +35,46 @@ class PoolStats:
     """Counters describing pool activity since construction/reset."""
 
     tasks_submitted: int = 0
+    tasks_failed: int = 0
     batches: int = 0
     max_batch_width: int = 0
 
     def reset(self) -> None:
         self.tasks_submitted = 0
+        self.tasks_failed = 0
         self.batches = 0
         self.max_batch_width = 0
+
+
+def chain_errors(errors: Sequence[BaseException]) -> BaseException:
+    """Link every secondary error onto the first one's ``__context__`` chain.
+
+    A multi-worker batch can fail on several tasks at once; re-raising only
+    the first would silently discard the rest. Appending the others to the
+    implicit-context chain keeps the caller-visible exception type unchanged
+    while tracebacks (and ``raise ... from`` tooling) show every failure.
+    Already-linked or duplicate exception objects are skipped so the chain
+    can never cycle.
+    """
+    first = errors[0]
+    seen = {id(first)}
+    node = first
+    while node.__context__ is not None:
+        seen.add(id(node.__context__))
+        node = node.__context__
+    for exc in errors[1:]:
+        if id(exc) in seen:
+            continue
+        node.__context__ = exc
+        seen.add(id(exc))
+        node = exc
+        while node.__context__ is not None:
+            if id(node.__context__) in seen:
+                node.__context__ = None
+                break
+            seen.add(id(node.__context__))
+            node = node.__context__
+    return first
 
 
 class ThreadPoolEngine:
@@ -51,6 +91,8 @@ class ThreadPoolEngine:
         self.num_workers = int(num_workers)
         self._pool: ThreadPoolExecutor | None = None
         self.stats = PoolStats()
+        #: optional wall-clock recorder; ``None`` keeps the hot path bare.
+        self.recorder: "TraceRecorder | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -80,18 +122,54 @@ class ThreadPoolEngine:
 
     # -- execution -----------------------------------------------------------
 
-    def run_batch(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+    @staticmethod
+    def _timed(
+        thunk: Callable[[], Any],
+        rec: "TraceRecorder",
+        loop: str,
+        color: int,
+        index: int,
+    ) -> Callable[[], Any]:
+        """Wrap a thunk so the worker reports its own timed span."""
+
+        def run() -> Any:
+            start = rec.now()
+            try:
+                return thunk()
+            finally:
+                rec.task_span(loop, color, index, start, rec.now())
+
+        return run
+
+    def run_batch(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        *,
+        loop: str = "",
+        color: int = -1,
+    ) -> list[Any]:
         """Run every thunk on the pool; join; results in submission order.
 
         This is the fork-join primitive of the threads mode: one batch per
         color class (or per loop for direct loops). All thunks are waited for
         even when one raises — no worker may still be mutating shared dats
         after control returns — and the first exception (in submission order)
-        is re-raised on the caller.
+        is re-raised on the caller with any further worker failures attached
+        to its ``__context__`` chain (see :func:`chain_errors`).
+
+        ``loop``/``color`` label the batch's task spans when a recorder is
+        attached; they carry no cost otherwise.
         """
         if not thunks:
             return []
         pool = self._ensure()
+        rec = self.recorder
+        if rec is not None:
+            rec.batches += 1
+            thunks = [
+                self._timed(thunk, rec, loop, color, i)
+                for i, thunk in enumerate(thunks)
+            ]
         futures = [pool.submit(thunk) for thunk in thunks]
         self.stats.tasks_submitted += len(futures)
         self.stats.batches += 1
@@ -99,16 +177,16 @@ class ThreadPoolEngine:
             self.stats.max_batch_width = len(futures)
 
         results: list[Any] = []
-        first_error: BaseException | None = None
+        errors: list[BaseException] = []
         for future in futures:
             try:
                 results.append(future.result())
             except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
+                errors.append(exc)
                 results.append(None)
-        if first_error is not None:
-            raise first_error
+        if errors:
+            self.stats.tasks_failed += len(errors)
+            raise chain_errors(errors)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

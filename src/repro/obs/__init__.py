@@ -1,0 +1,22 @@
+"""``repro.obs`` — wall-clock observability for the measured threads mode.
+
+Per-task / per-color / per-loop tracing (:class:`TraceRecorder`), OP2-style
+per-kernel timing tables (:class:`TimingSummary`), and Chrome-trace export
+(:func:`export_obs_trace`) for runs on the real thread pool. Enabled via
+``RuntimeConfig(trace=..., timing=...)`` / ``op2_session(trace=True)`` / the
+CLI's ``--trace FILE`` and ``--timing`` flags; when disabled the hot path
+carries no recorder at all.
+"""
+
+from repro.obs.chrome import export_obs_trace, obs_trace_events
+from repro.obs.recorder import ObsEvent, TraceRecorder
+from repro.obs.timing import KernelTiming, TimingSummary
+
+__all__ = [
+    "KernelTiming",
+    "ObsEvent",
+    "TimingSummary",
+    "TraceRecorder",
+    "export_obs_trace",
+    "obs_trace_events",
+]

@@ -1,0 +1,52 @@
+"""Chrome-trace export of measured (threads-mode) recorder events.
+
+Reuses the simulated exporter's event builders
+(:mod:`repro.sim.chrometrace`), so a wall-clock run and a machine-model run
+of the same application open side by side in Perfetto with identical lane
+and category vocabulary. Row 0 is the orchestrating thread (serial prefixes,
+reduction folds, loop/color spans); each worker thread gets its own lane of
+``task`` events.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.sim.chrometrace import duration_event, metadata_events, write_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import TraceRecorder
+
+
+def obs_trace_events(
+    recorder: "TraceRecorder", process_name: str = "repro.threads"
+) -> list[dict]:
+    """Metadata rows plus one duration event per recorded span."""
+    thread_names = {}
+    for row, name in sorted(recorder.row_names().items()):
+        role = "orchestrator" if row == 0 else "worker"
+        thread_names[row] = f"{role} ({name})"
+    events = metadata_events(process_name, thread_names)
+    for e in recorder.events:
+        events.append(
+            duration_event(
+                e.name,
+                e.kind,
+                e.loop,
+                e.row,
+                e.start * 1e6,
+                e.duration * 1e6,
+                args={"kind": e.kind, "loop": e.loop, "color": e.color},
+            )
+        )
+    return events
+
+
+def export_obs_trace(
+    recorder: "TraceRecorder",
+    path: str | Path,
+    process_name: str = "repro.threads",
+) -> int:
+    """Write the measured trace to ``path``; returns the event count."""
+    return write_trace(obs_trace_events(recorder, process_name), path)

@@ -29,6 +29,12 @@ from repro.op2.exceptions import Op2Error
 #: Valid execution modes.
 MODES = ("sim", "threads")
 
+#: Default :class:`~repro.op2.runtime.LoopLog` bound for ``mode="threads"``.
+#: Threaded runs never replay their logs on the simulator, so keeping one
+#: record per loop forever is a memory leak on exactly the long wall-clock
+#: runs the mode targets; the sim mode keeps full logs (emission needs them).
+DEFAULT_THREADS_LOG_LIMIT = 512
+
 
 @dataclass(frozen=True)
 class RuntimeConfig:
@@ -39,10 +45,20 @@ class RuntimeConfig:
             (real ``ThreadPoolExecutor`` workers measuring wall-clock).
         num_workers: OS threads for ``mode="threads"``; ``None`` inherits the
             runtime's ``num_threads``.
+        trace: collect per-task/per-color/per-loop wall-clock events for
+            Chrome-trace export (threads mode; implies per-kernel timing).
+        timing: collect the per-kernel timing aggregates only (no event
+            stream) — the cheap ``op_timing_output`` flavor.
+        log_limit: loop-log bound. ``None`` resolves per mode (unbounded for
+            ``sim``, :data:`DEFAULT_THREADS_LOG_LIMIT` for ``threads``);
+            ``0`` disables logging; ``n > 0`` keeps the last ``n`` records.
     """
 
     mode: str = "sim"
     num_workers: int | None = None
+    trace: bool = False
+    timing: bool = False
+    log_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -53,11 +69,26 @@ class RuntimeConfig:
             raise Op2Error(
                 f"num_workers must be >= 1, got {self.num_workers}"
             )
+        if self.log_limit is not None and self.log_limit < 0:
+            raise Op2Error(
+                f"log_limit must be >= 0 (0 disables), got {self.log_limit}"
+            )
 
     @property
     def threaded(self) -> bool:
         return self.mode == "threads"
 
+    @property
+    def observing(self) -> bool:
+        """True when the runtime should carry a wall-clock recorder."""
+        return self.trace or self.timing
+
     def resolve_workers(self, default: int) -> int:
         """Worker count for the thread pool (``None`` -> ``default``)."""
         return int(self.num_workers) if self.num_workers is not None else int(default)
+
+    def resolve_log_limit(self) -> int | None:
+        """Effective loop-log bound (``None`` = unbounded)."""
+        if self.log_limit is not None:
+            return int(self.log_limit)
+        return DEFAULT_THREADS_LOG_LIMIT if self.threaded else None

@@ -18,6 +18,8 @@ from typing import Any, Iterator
 from repro.hpx.future import Future
 from repro.hpx.runtime import HPXRuntime, set_runtime
 from repro.hpx.threadpool import ThreadPoolEngine
+from repro.obs.recorder import TraceRecorder
+from repro.obs.timing import TimingSummary
 from repro.op2.config import RuntimeConfig
 from repro.op2.exceptions import Op2Error
 from repro.op2.parloop import ParLoop
@@ -43,15 +45,30 @@ class SyncRecord:
 
 @dataclass
 class LoopLog:
-    """Program-order record of loops and syncs for one run."""
+    """Program-order record of loops and syncs for one run.
+
+    ``limit`` bounds the retained entries: ``None`` keeps everything (the
+    sim mode's emitters replay the *full* log, so they need it all), ``0``
+    disables retention, and ``n > 0`` keeps the last ``n`` records — the
+    threads-mode default, where the log is purely diagnostic and one record
+    per loop forever is a memory leak on multi-million-timestep runs.
+    ``total`` counts every append, including evicted/dropped ones.
+    """
 
     entries: list[LoopRecord | SyncRecord] = field(default_factory=list)
+    limit: int | None = None
+    total: int = 0
 
     def loops(self) -> list[LoopRecord]:
         return [e for e in self.entries if isinstance(e, LoopRecord)]
 
     def append(self, entry: LoopRecord | SyncRecord) -> None:
+        self.total += 1
+        if self.limit == 0:
+            return
         self.entries.append(entry)
+        if self.limit is not None and len(self.entries) > self.limit:
+            del self.entries[0]
 
     def clear(self) -> None:
         self.entries.clear()
@@ -89,10 +106,16 @@ class Op2Runtime:
         self.num_workers = self.config.resolve_workers(self.num_threads)
         self.hpx = HPXRuntime(self.num_threads)
         self.plans = PlanCache()
-        self.log = LoopLog()
+        self.log = LoopLog(limit=self.config.resolve_log_limit())
+        #: wall-clock recorder for the threads mode; ``None`` unless the
+        #: config asks for tracing/timing, so the disabled path stays bare.
+        self.obs: TraceRecorder | None = (
+            TraceRecorder(events=self.config.trace)
+            if self.config.observing
+            else None
+        )
         self._pool: ThreadPoolEngine | None = None
         self._next_loop_id = 0
-        self._future_loop_ids: dict[int, int] = {}
         self.backend.on_attach(self)
 
     @property
@@ -100,6 +123,7 @@ class Op2Runtime:
         """The real worker pool for ``threads`` mode (created lazily)."""
         if self._pool is None:
             self._pool = ThreadPoolEngine(self.num_workers)
+            self._pool.recorder = self.obs
         return self._pool
 
     # -- loop execution -----------------------------------------------------
@@ -115,7 +139,10 @@ class Op2Runtime:
         else:
             result = self.backend.run_loop(self, loop, plan, loop_id)
         if isinstance(result, Future):
-            self._future_loop_ids[id(result)] = loop_id
+            # The loop id lives on the future itself: an id()-keyed side
+            # table maps a *new* future to a stale loop after CPython reuses
+            # a collected future's address, and grows without bound.
+            result.loop_id = loop_id
         return result
 
     def sync(self, *results: Future | None) -> None:
@@ -127,9 +154,8 @@ class Op2Runtime:
             if not isinstance(r, Future):
                 raise Op2Error(f"sync expects loop futures, got {r!r}")
             r.get()
-            loop_id = self._future_loop_ids.get(id(r))
-            if loop_id is not None:
-                waited.append(loop_id)
+            if r.loop_id is not None:
+                waited.append(r.loop_id)
         if waited:
             self.log.append(SyncRecord(loop_ids=tuple(waited)))
 
@@ -137,6 +163,40 @@ class Op2Runtime:
         """Complete all outstanding asynchronous work."""
         self.backend.finalize(self)
         self.hpx.executor.drain()
+
+    def cancel(self) -> None:
+        """Discard outstanding asynchronous work (error-path cleanup).
+
+        Used instead of :meth:`finish` when a session body raised: queued
+        executor tasks are dropped (their futures fail rather than linger)
+        and backend scheduling state is reset, so a runtime reused by a
+        later session does not replay this session's stale work.
+        """
+        self.backend.cancel(self)
+        self.hpx.executor.cancel_pending()
+
+    # -- observability -------------------------------------------------------
+
+    def timing_summary(self) -> TimingSummary:
+        """Per-kernel wall-clock table (OP2's ``op_timing_output``)."""
+        if self.obs is None:
+            raise Op2Error(
+                "timing is not enabled; construct the session with "
+                "timing=True or trace=True"
+            )
+        return self.obs.summary(self.num_workers)
+
+    def export_trace(self, path) -> int:
+        """Write the measured Chrome-trace JSON; returns the event count."""
+        if self.obs is None or not self.obs.collect_events:
+            raise Op2Error(
+                "tracing is not enabled; construct the session with trace=True"
+            )
+        from repro.obs.chrome import export_obs_trace
+
+        return export_obs_trace(
+            self.obs, path, process_name=f"repro.threads[{self.backend_name}]"
+        )
 
     def close(self) -> None:
         """Release OS resources (thread-pool workers). Idempotent.
@@ -195,12 +255,21 @@ def op2_session(
     mode: str = "sim",
     num_workers: int | None = None,
     backend_options: dict | None = None,
+    trace: bool = False,
+    timing: bool = False,
+    log_limit: int | None = None,
 ) -> Iterator[Op2Runtime]:
     """Scoped OP2 session: installs the runtime, finishes and restores on exit.
 
     ``mode="threads"`` selects real shared-memory execution on
     ``num_workers`` OS threads (default: ``num_threads``); the default
-    ``"sim"`` keeps the deterministic cooperative path.
+    ``"sim"`` keeps the deterministic cooperative path. ``trace``/``timing``
+    enable the wall-clock observability layer (see :mod:`repro.obs`);
+    ``log_limit`` bounds the loop log (see :class:`LoopLog`).
+
+    If the body raises, outstanding asynchronous work is *cancelled* rather
+    than finished — queued tasks must not leak into a later session that
+    reuses this runtime — and the exception propagates unchanged.
 
     >>> from repro.op2 import op2_session
     >>> with op2_session(backend="openmp", num_threads=4) as rt:
@@ -211,13 +280,24 @@ def op2_session(
         num_threads=num_threads,
         block_size=block_size,
         granularity=granularity,
-        config=RuntimeConfig(mode=mode, num_workers=num_workers),
+        config=RuntimeConfig(
+            mode=mode,
+            num_workers=num_workers,
+            trace=trace,
+            timing=timing,
+            log_limit=log_limit,
+        ),
         backend_options=backend_options,
     )
     previous = rt.activate()
     try:
         yield rt
         rt.finish()
+    except BaseException:
+        # A raising body (or a raising kernel surfacing in finish) would
+        # otherwise skip the drain and leave queued work behind.
+        rt.cancel()
+        raise
     finally:
         rt.deactivate(previous)
         rt.close()

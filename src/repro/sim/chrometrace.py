@@ -1,13 +1,16 @@
-"""Export simulated schedules as Chrome trace-event JSON.
+"""Export schedules as Chrome trace-event JSON (simulated *and* measured).
 
 ``chrome://tracing`` / Perfetto read a simple JSON format; exporting the
 simulator's per-thread trace lets the schedules be inspected interactively —
 the barrier gaps of the OpenMP backend and the packed dataflow timeline are
-very visible there.
+very visible there. The generic builders (:func:`metadata_events`,
+:func:`duration_event`, :func:`write_trace`) are shared with the measured
+threads-mode exporter (:mod:`repro.obs.chrome`), so simulated and wall-clock
+runs render in the same viewer with the same visual vocabulary.
 
 Format: the "JSON array" flavor of the Trace Event Format — one complete
 duration event (``"ph": "X"``) per executed task, timestamps in
-microseconds, one row per simulated thread.
+microseconds, one row per (simulated or real) thread.
 """
 
 from __future__ import annotations
@@ -24,54 +27,93 @@ _KIND_COLORS = {
     "join": "bad",
     "spawn": "generic_work",
     "prefix": "grey",
+    # measured (threads-mode) kinds
+    "loop": "rail_load",
+    "color": "rail_animation",
+    "task": "thread_state_running",
+    "fold": "bad",
 }
 
 
-def trace_events(trace: Trace, process_name: str = "repro.sim") -> list[dict]:
-    """The event list: metadata rows plus one duration event per record."""
+def metadata_events(
+    process_name: str, thread_names: dict[int, str], pid: int = 1
+) -> list[dict]:
+    """Process/thread-name metadata rows heading a trace event list."""
     events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
-        }
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": process_name}}
     ]
-    for thread in range(trace.num_threads):
+    for tid, name in thread_names.items():
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
-                "tid": thread,
-                "args": {"name": f"sim thread {thread}"},
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
             }
         )
+    return events
+
+
+def duration_event(
+    name: str,
+    kind: str,
+    loop: str,
+    tid: int,
+    ts: float,
+    dur: float,
+    args: dict | None = None,
+    pid: int = 1,
+) -> dict:
+    """One complete duration event; timestamps/durations in microseconds."""
+    event = {
+        "name": name,
+        "cat": kind + ("," + loop if loop else ""),
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": ts,
+        "dur": dur,
+        "args": args if args is not None else {"kind": kind, "loop": loop},
+    }
+    color = _KIND_COLORS.get(kind)
+    if color:
+        event["cname"] = color
+    return event
+
+
+def write_trace(events: list[dict], path: str | Path) -> int:
+    """Serialize an event list to ``path``; returns the number of events.
+
+    Open the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    Path(path).write_text(json.dumps(events))
+    return len(events)
+
+
+def trace_events(trace: Trace, process_name: str = "repro.sim") -> list[dict]:
+    """The event list: metadata rows plus one duration event per record."""
+    events = metadata_events(
+        process_name,
+        {thread: f"sim thread {thread}" for thread in range(trace.num_threads)},
+    )
     for r in trace.records:
-        event = {
-            "name": r.name,
-            "cat": r.kind + ("," + r.loop if r.loop else ""),
-            "ph": "X",
-            "pid": 1,
-            "tid": r.thread,
-            "ts": r.start,
-            "dur": r.duration,
-            "args": {"kind": r.kind, "loop": r.loop, "task": r.tid},
-        }
-        color = _KIND_COLORS.get(r.kind)
-        if color:
-            event["cname"] = color
-        events.append(event)
+        events.append(
+            duration_event(
+                r.name,
+                r.kind,
+                r.loop,
+                r.thread,
+                r.start,
+                r.duration,
+                args={"kind": r.kind, "loop": r.loop, "task": r.tid},
+            )
+        )
     return events
 
 
 def export_chrome_trace(
     trace: Trace, path: str | Path, process_name: str = "repro.sim"
 ) -> int:
-    """Write the trace to ``path``; returns the number of events written.
-
-    Open the file in ``chrome://tracing`` or https://ui.perfetto.dev.
-    """
-    events = trace_events(trace, process_name)
-    Path(path).write_text(json.dumps(events))
-    return len(events)
+    """Write the simulated trace to ``path``; returns the event count."""
+    return write_trace(trace_events(trace, process_name), path)

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.hpx.threadpool import PoolStats, ThreadPoolEngine
+from repro.hpx.threadpool import PoolStats, ThreadPoolEngine, chain_errors
 from repro.util.validate import ValidationError
 
 
@@ -82,6 +82,27 @@ class TestRunBatch:
                     [lambda: 1, lambda: boom("first"), lambda: boom("second")]
                 )
 
+    def test_secondary_errors_chained_not_discarded(self):
+        """Every failed task survives on the first error's context chain."""
+        with ThreadPoolEngine(2) as pool:
+            def boom(cls, msg):
+                raise cls(msg)
+
+            with pytest.raises(RuntimeError, match="first") as info:
+                pool.run_batch(
+                    [
+                        lambda: boom(RuntimeError, "first"),
+                        lambda: 1,
+                        lambda: boom(ValueError, "second"),
+                        lambda: boom(KeyError, "third"),
+                    ]
+                )
+        second = info.value.__context__
+        assert isinstance(second, ValueError) and "second" in str(second)
+        third = second.__context__
+        assert isinstance(third, KeyError) and "third" in str(third)
+        assert third.__context__ is None
+
     def test_all_tasks_complete_before_error_propagates(self):
         """No worker may still be mutating shared state after run_batch."""
         done = []
@@ -98,6 +119,31 @@ class TestRunBatch:
         assert len(done) == 2
 
 
+class TestChainErrors:
+    def test_single_error_passes_through(self):
+        err = RuntimeError("only")
+        assert chain_errors([err]) is err
+        assert err.__context__ is None
+
+    def test_duplicate_objects_do_not_cycle(self):
+        a, b = RuntimeError("a"), ValueError("b")
+        out = chain_errors([a, b, a, b, a])
+        assert out is a
+        assert a.__context__ is b
+        assert b.__context__ is None
+
+    def test_preexisting_context_is_preserved(self):
+        inner = KeyError("inner")
+        outer = RuntimeError("outer")
+        outer.__context__ = inner
+        extra = ValueError("extra")
+        out = chain_errors([outer, extra])
+        assert out is outer
+        # The new error attaches after the chain that already existed.
+        assert outer.__context__ is inner
+        assert inner.__context__ is extra
+
+
 class TestStats:
     def test_counters(self):
         with ThreadPoolEngine(2) as pool:
@@ -106,8 +152,23 @@ class TestStats:
             assert pool.stats.tasks_submitted == 4
             assert pool.stats.batches == 2
             assert pool.stats.max_batch_width == 3
+            assert pool.stats.tasks_failed == 0
+
+    def test_failed_task_counter(self):
+        with ThreadPoolEngine(2) as pool:
+            def boom():
+                raise ValueError("x")
+
+            with pytest.raises(ValueError):
+                pool.run_batch([boom, lambda: 1, boom])
+            assert pool.stats.tasks_failed == 2
+            with pytest.raises(ValueError):
+                pool.run_batch([boom])
+            assert pool.stats.tasks_failed == 3
 
     def test_reset(self):
-        stats = PoolStats(tasks_submitted=7, batches=2, max_batch_width=5)
+        stats = PoolStats(
+            tasks_submitted=7, tasks_failed=3, batches=2, max_batch_width=5
+        )
         stats.reset()
         assert stats == PoolStats()

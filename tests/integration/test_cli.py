@@ -77,3 +77,55 @@ class TestCommands:
 
     def test_figures_unknown_figure(self, capsys):
         assert main(["figures", "--only", "99"]) == 2
+
+
+class TestObservabilityFlags:
+    def test_airfoil_threads_trace_and_timing(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "airfoil.json"
+        rc = main(
+            ["airfoil", "--ni", "16", "--nj", "6", "--iters", "2",
+             "--mode", "threads", "--workers", "2", "--block-size", "16",
+             "--timing", "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "res_calc" in out  # the timing table
+        assert "utilization" in out
+        assert f"to {trace}" in out
+        events = json.loads(trace.read_text())
+        kinds = {
+            e["args"]["kind"] for e in events
+            if e.get("ph") == "X" and "kind" in e.get("args", {})
+        }
+        assert {"loop", "color", "task"} <= kinds
+
+    def test_heat_sim_trace_and_timing(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "heat.json"
+        rc = main(
+            ["heat", "--ni", "16", "--nj", "8", "--steps", "10",
+             "--backend", "openmp", "--timing", "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sim busy" in out  # simulated per-loop table
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list) and events
+        loops = {
+            e["args"].get("loop") for e in events if e.get("ph") == "X"
+        }
+        assert "flux" in loops
+
+    def test_timing_without_trace_writes_no_file(self, tmp_path, capsys):
+        rc = main(
+            ["airfoil", "--ni", "16", "--nj", "6", "--iters", "1",
+             "--mode", "threads", "--workers", "1", "--block-size", "16",
+             "--timing"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "op_timing_output" in out
+        assert list(tmp_path.iterdir()) == []

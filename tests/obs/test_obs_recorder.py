@@ -1,0 +1,155 @@
+"""Unit tests for the wall-clock recorder and the per-kernel aggregation."""
+
+import threading
+
+import pytest
+
+from repro.hpx.threadpool import ThreadPoolEngine
+from repro.obs.recorder import ObsEvent, TraceRecorder
+from repro.obs.timing import KernelTiming, TimingSummary
+
+
+class TestRows:
+    def test_creating_thread_is_row_zero(self):
+        rec = TraceRecorder()
+        assert rec.row() == 0
+        assert 0 in rec.row_names()
+
+    def test_worker_threads_get_stable_rows(self):
+        rec = TraceRecorder()
+        seen = []
+        barrier = threading.Barrier(2)
+
+        def probe():
+            row = rec.row()
+            barrier.wait()  # both alive at once: idents cannot be reused
+            seen.append(row)
+            assert rec.row() == row  # stable on repeat calls
+
+        threads = [threading.Thread(target=probe) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == [1, 2]
+        assert rec.row() == 0  # orchestrator row unchanged
+
+    def test_row_zero_pinned_even_if_worker_reports_first(self):
+        """Busy attribution splits on row 0: a worker must never claim it."""
+        rec = TraceRecorder()
+        rows = []
+        t = threading.Thread(target=lambda: rows.append(rec.row()))
+        t.start()
+        t.join()
+        assert rows == [1]
+
+
+class TestRecording:
+    def test_span_records_event_and_optional_busy(self):
+        rec = TraceRecorder()
+        rec.span("res_calc.c0.prefix", "prefix", "res_calc", 0.0, 0.5, 0, busy=True)
+        rec.span("res_calc.c0", "color", "res_calc", 0.0, 1.0, 0)
+        assert [e.kind for e in rec.events] == ["prefix", "color"]
+        # Only busy=True spans count toward the row's busy attribution.
+        assert rec.summary().busy[0] == pytest.approx(0.5)
+
+    def test_task_span_accumulates_per_loop_totals(self):
+        rec = TraceRecorder()
+        rec.task_span("res_calc", 0, 0, 0.0, 0.25)
+        rec.task_span("res_calc", 0, 1, 0.1, 0.2)
+        rec.task_span("update", 0, 0, 0.0, 1.0)
+        assert rec.take_task_totals("res_calc") == (2, pytest.approx(0.35))
+        # Drained: a second take sees nothing.
+        assert rec.take_task_totals("res_calc") == (0, 0.0)
+        assert rec.take_task_totals("update") == (1, pytest.approx(1.0))
+        assert rec.total_tasks == 3
+
+    def test_events_can_be_disabled_for_timing_only_mode(self):
+        rec = TraceRecorder(events=False)
+        rec.span("x.c0", "color", "x", 0.0, 1.0, 0, busy=True)
+        rec.task_span("x", 0, 0, 0.0, 0.5)
+        assert rec.events == []
+        # Aggregates still accumulate: 1.0 busy span + 0.5 task time.
+        assert rec.summary().busy[0] == pytest.approx(1.5)
+
+    def test_event_duration(self):
+        e = ObsEvent("n", "task", "loop", 1, 0.25, 1.0, 0)
+        assert e.duration == pytest.approx(0.75)
+
+
+class TestAggregation:
+    def test_kernel_timing_accumulates(self):
+        kt = KernelTiming("res_calc")
+        kt.add(0.2, ncolors=3, ntasks=12, task_time=0.5, prefix_time=0.01,
+               fold_time=0.02)
+        kt.add(0.4, ncolors=3, ntasks=12, task_time=0.7)
+        assert kt.count == 2
+        assert kt.total == pytest.approx(0.6)
+        assert kt.mean == pytest.approx(0.3)
+        assert (kt.min, kt.max) == (0.2, 0.4)
+        assert kt.colors == 3
+        assert kt.tasks == 24
+        assert kt.task_time == pytest.approx(1.2)
+
+    def test_record_loop_builds_summary(self):
+        rec = TraceRecorder()
+        rec.record_loop("adt_calc", 0.1, ncolors=1, ntasks=4, task_time=0.3)
+        rec.record_loop("adt_calc", 0.2, ncolors=1, ntasks=4, task_time=0.4)
+        rec.record_loop("update", 0.05, ncolors=1, ntasks=2)
+        summary = rec.summary(num_workers=4)
+        assert set(summary.kernels) == {"adt_calc", "update"}
+        assert summary.kernels["adt_calc"].count == 2
+        assert summary.num_workers == 4
+        assert summary.total_tasks == 10
+
+    def test_utilization_and_worker_busy_exclude_orchestrator(self):
+        summary = TimingSummary(
+            kernels={}, wall=1.0, busy={0: 5.0, 1: 0.5, 2: 0.3}, num_workers=2
+        )
+        assert summary.worker_busy == pytest.approx(0.8)
+        assert summary.utilization() == pytest.approx(0.4)
+
+    def test_render_contains_table_and_footer(self):
+        rec = TraceRecorder()
+        rec.record_loop("res_calc", 0.2, ncolors=3, ntasks=12, task_time=0.5)
+        text = rec.summary(num_workers=2).render()
+        assert "kernel" in text and "res_calc" in text
+        for col in ("count", "total ms", "colors", "tasks", "task ms"):
+            assert col in text
+        assert "worker(s):" in text and "utilization" in text
+
+
+class TestPoolIntegration:
+    def test_run_batch_reports_task_spans(self):
+        rec = TraceRecorder()
+        with ThreadPoolEngine(2) as pool:
+            pool.recorder = rec
+            out = pool.run_batch(
+                [lambda: 1, lambda: 2, lambda: 3], loop="res_calc", color=1
+            )
+        assert out == [1, 2, 3]
+        assert rec.batches == 1
+        tasks = [e for e in rec.events if e.kind == "task"]
+        assert len(tasks) == 3
+        assert {e.name for e in tasks} == {
+            "res_calc.c1.t0", "res_calc.c1.t1", "res_calc.c1.t2"
+        }
+        assert all(e.loop == "res_calc" and e.color == 1 for e in tasks)
+        assert all(e.row > 0 for e in tasks)  # never the orchestrator row
+        assert rec.take_task_totals("res_calc")[0] == 3
+
+    def test_failed_tasks_still_report_spans(self):
+        rec = TraceRecorder()
+        with ThreadPoolEngine(2) as pool:
+            pool.recorder = rec
+            def boom():
+                raise ValueError("x")
+
+            with pytest.raises(ValueError):
+                pool.run_batch([lambda: 1, boom], loop="bad", color=0)
+        assert len([e for e in rec.events if e.kind == "task"]) == 2
+
+    def test_no_recorder_means_no_events(self):
+        with ThreadPoolEngine(2) as pool:
+            assert pool.recorder is None
+            assert pool.run_batch([lambda: 1]) == [1]
