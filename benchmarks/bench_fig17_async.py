@@ -22,10 +22,14 @@ import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
 from benchmarks.wallclock import measure_matrix, simulated_ms, wallclock_report
-from repro.experiments.config import PAPER_CLAIMS
-from repro.experiments.runner import simulate_backend
+from repro.airfoil import generate_mesh
+from repro.experiments.config import ExperimentConfig, PAPER_CLAIMS
+from repro.experiments.runner import measure_backend, simulate_backend
 from repro.sim.metrics import speedup_series
 from repro.util.tables import Table
+
+#: Small mesh for the join-accounting checks: counters, not wall clock.
+JOIN_CONFIG = ExperimentConfig(ni=48, nj=24, niter=2)
 
 THREADS = [1, 2, 4, 8, 16, 32]
 _results: dict[tuple[str, int], float] = {}
@@ -84,6 +88,34 @@ def test_fig17_threads_wallclock(
     for _, label, _ in specs:
         for w in workers:
             assert results[(label, w)].wall_seconds > 0.0
+
+
+def test_fig17_threads_wallclock_fewer_joins(bench_workers):
+    """The async backend's measured mode joins less than fork-join for_each.
+
+    Fork-join execution pays one pool join per color batch; the scheduled
+    async backend only joins where the application placed a sync, so its
+    total join count must be strictly lower at the same worker count.
+    """
+    workers = max(4, *bench_workers)
+    mesh = generate_mesh(**JOIN_CONFIG.mesh_kwargs())
+    base = measure_backend(
+        "foreach", JOIN_CONFIG, mesh, num_workers=workers, repeats=1
+    )
+    asy = measure_backend(
+        "hpx_async", JOIN_CONFIG, mesh, num_workers=workers, repeats=1
+    )
+    print()
+    print(
+        f"== fig17 join accounting @ {workers} workers ==\n"
+        f"  for_each: {base.pool.joins} joins ({base.pool.color_joins} per-color)\n"
+        f"  async:    {asy.pool.joins} joins ({asy.pool.color_joins} per-color)"
+    )
+    assert base.pool.color_joins > 0
+    assert asy.pool.joins < base.pool.joins
+    assert asy.pool.color_joins == 0 and asy.pool.batches == 0
+    # Barrier elimination must not perturb the numerics.
+    assert asy.result.rms_total == pytest.approx(base.result.rms_total, abs=1e-12)
 
 
 if __name__ == "__main__":

@@ -210,8 +210,12 @@ def execute_loop(
 
     scatter_args(writebacks, global_sink=global_sink)
     if bump_versions:
+        # Once per distinct dat: a dat named by two writing args of one loop
+        # (res through two map columns) is still a single write event.
+        seen: set[int] = set()
         for arg in loop.args:
-            if not arg.is_global and arg.access.writes:
+            if not arg.is_global and arg.access.writes and id(arg.dat) not in seen:
+                seen.add(id(arg.dat))
                 arg.dat.bump_version()
 
 

@@ -80,6 +80,28 @@ class ElementBlockIndex:
         return np.unique(_ranges_gather(starts, lens, self._blocks))
 
 
+def hazard_dats(producer: LoopRecord, consumer: LoopRecord) -> list[OpDat]:
+    """Dats shared by two loops where at least one side writes."""
+    prod_access: dict[int, tuple[OpDat, bool]] = {}
+    for a in producer.loop.args:
+        if isinstance(a.dat, OpDat):
+            dat, writes = prod_access.get(id(a.dat), (a.dat, False))
+            prod_access[id(a.dat)] = (dat, writes or a.access.writes)
+    out: list[OpDat] = []
+    seen: set[int] = set()
+    for a in consumer.loop.args:
+        if not isinstance(a.dat, OpDat) or id(a.dat) in seen:
+            continue
+        hit = prod_access.get(id(a.dat))
+        if hit is None:
+            continue
+        dat, prod_writes = hit
+        if prod_writes or a.access.writes:
+            seen.add(id(a.dat))
+            out.append(dat)
+    return out
+
+
 def block_dependencies(
     producer: LoopRecord, consumer: LoopRecord, dat: OpDat
 ) -> list[np.ndarray]:
@@ -90,6 +112,35 @@ def block_dependencies(
     """
     index = ElementBlockIndex(touched_per_block(producer, dat), dat.set.size)
     return [index.blocks_for(rows) for rows in touched_per_block(consumer, dat)]
+
+
+class BlockDepCache:
+    """Memoized :func:`block_dependencies` keyed by (plans, dat) identity.
+
+    The relation depends only on the two plans and the shared dat — not on
+    worker count or time — so one entry serves every timestep in which the
+    same pair of loops recurs. Both the dataflow emitter and the measured
+    thread scheduler keep an instance.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, list[np.ndarray]] = {}
+
+    def get(
+        self, producer: LoopRecord, consumer: LoopRecord, dat: OpDat
+    ) -> list[np.ndarray]:
+        key = (
+            producer.loop.name,
+            id(producer.plan),
+            consumer.loop.name,
+            id(consumer.plan),
+            id(dat),
+        )
+        deps = self._cache.get(key)
+        if deps is None:
+            deps = block_dependencies(producer, consumer, dat)
+            self._cache[key] = deps
+        return deps
 
 
 def dependency_edge_count(deps: list[np.ndarray]) -> int:

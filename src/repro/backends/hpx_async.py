@@ -38,6 +38,19 @@ class HpxAsyncBackend(Backend):
     name = "hpx_async"
     asynchronous = True
 
+    def __init__(self) -> None:
+        self._sched = None  # threads-mode LoopScheduler, created lazily
+
+    def on_attach(self, rt: Op2Runtime) -> None:
+        self._sched = None
+
+    def _scheduler(self, rt: Op2Runtime):
+        if self._sched is None:
+            from repro.backends.scheduling import LoopScheduler
+
+            self._sched = LoopScheduler(rt, refine_blocks=False)
+        return self._sched
+
     def run_loop(
         self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
     ) -> Future:
@@ -70,22 +83,24 @@ class HpxAsyncBackend(Backend):
     def run_loop_threads(
         self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
     ) -> Future:
-        # Real-thread mode: the loop body executes eagerly (colors
-        # sequential, same-color blocks concurrent on the pool) and the
-        # application receives an already-completed future, so its
-        # ``rt.sync(...)`` placement keeps working unchanged. Inter-loop
-        # overlap remains a simulated-only phenomenon for now — measured
-        # overlap needs per-dat dependency scheduling on the pool.
-        from repro.backends.threaded import run_loop_threaded
-        from repro.hpx.future import make_ready_future
-
-        run_loop_threaded(
-            rt, loop, plan, self._thread_chunker(rt), mode=self._exec_mode(rt)
+        # Real-thread mode: every chunk is dependency-released on the pool
+        # with no per-loop barrier; the returned future resolves when the
+        # loop's finalizer task runs, so the application's ``rt.sync(...)``
+        # placement — paper Fig 10's ``new_data.get()`` — is the only real
+        # join. Conflicting loops are ordered at loop granularity (the
+        # dataflow backend refines to block level).
+        return self._scheduler(rt).schedule(
+            loop, plan, self._thread_chunker(rt), self._exec_mode(rt), loop_id
         )
-        return make_ready_future(None, rt.hpx.executor)
 
     def finalize(self, rt: Op2Runtime) -> None:
+        if self._sched is not None:
+            self._sched.finalize()
         rt.hpx.executor.drain()
+
+    def cancel(self, rt: Op2Runtime) -> None:
+        if self._sched is not None:
+            self._sched.cancel()
 
     def emit(
         self,

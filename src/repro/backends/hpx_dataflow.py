@@ -25,7 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.backends.base import Backend, execute_loop
-from repro.backends.blockdeps import block_dependencies
+from repro.backends.blockdeps import BlockDepCache, hazard_dats
 from repro.backends.emission import add_gate, record_block_costs
 from repro.hpx.dataflow import dataflow
 from repro.hpx.future import Future
@@ -37,27 +37,8 @@ from repro.op2.runtime import LoopLog, LoopRecord, Op2Runtime
 from repro.sim.machine import MachineConfig
 from repro.sim.task import TaskGraph
 
-
-def _hazard_dats(producer: LoopRecord, consumer: LoopRecord) -> list[OpDat]:
-    """Dats shared by two loops where at least one side writes."""
-    prod_access: dict[int, tuple[OpDat, bool]] = {}
-    for a in producer.loop.args:
-        if isinstance(a.dat, OpDat):
-            dat, writes = prod_access.get(id(a.dat), (a.dat, False))
-            prod_access[id(a.dat)] = (dat, writes or a.access.writes)
-    out: list[OpDat] = []
-    seen: set[int] = set()
-    for a in consumer.loop.args:
-        if not isinstance(a.dat, OpDat) or id(a.dat) in seen:
-            continue
-        hit = prod_access.get(id(a.dat))
-        if hit is None:
-            continue
-        dat, prod_writes = hit
-        if prod_writes or a.access.writes:
-            seen.add(id(a.dat))
-            out.append(dat)
-    return out
+# Shared with the measured scheduler; the emitter keeps this alias.
+_hazard_dats = hazard_dats
 
 
 class HpxDataflowBackend(Backend):
@@ -69,11 +50,20 @@ class HpxDataflowBackend(Backend):
     def __init__(self) -> None:
         self.tracker: DatDependencyTracker[int] = DatDependencyTracker()
         self._futures: dict[int, Future] = {}
-        self._blockdep_cache: dict[tuple, list[np.ndarray]] = {}
+        self._blockdep_cache = BlockDepCache()
+        self._sched = None  # threads-mode LoopScheduler, created lazily
 
     def on_attach(self, rt: Op2Runtime) -> None:
         self.tracker.reset()
         self._futures.clear()
+        self._sched = None
+
+    def _scheduler(self, rt: Op2Runtime):
+        if self._sched is None:
+            from repro.backends.scheduling import LoopScheduler
+
+            self._sched = LoopScheduler(rt, refine_blocks=True)
+        return self._sched
 
     def run_loop(
         self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
@@ -92,19 +82,19 @@ class HpxDataflowBackend(Backend):
     def run_loop_threads(
         self, rt: Op2Runtime, loop: ParLoop, plan: Plan, loop_id: int
     ) -> Future:
-        # Real-thread mode executes eagerly in program order — program order
-        # is a correct (if conservative) linearization of the dataflow graph.
-        # The dat-future tree stays a simulated-only construct; measured
-        # cross-loop overlap is future work on top of the thread pool.
-        from repro.backends.threaded import run_loop_threaded
-        from repro.hpx.future import make_ready_future
-
-        run_loop_threaded(
-            rt, loop, plan, self._thread_chunker(rt), mode=self._exec_mode(rt)
+        # Real-thread mode: every chunk is released on the pool as soon as
+        # the *conflicting producer blocks* complete (block-level refinement
+        # via repro.backends.blockdeps), so dependent loops interleave on
+        # real threads exactly like the emitted execution tree — including
+        # across timestep boundaries. No per-loop or per-color join exists
+        # anywhere on this path.
+        return self._scheduler(rt).schedule(
+            loop, plan, self._thread_chunker(rt), self._exec_mode(rt), loop_id
         )
-        return make_ready_future(None, rt.hpx.executor)
 
     def finalize(self, rt: Op2Runtime) -> None:
+        if self._sched is not None:
+            self._sched.finalize()
         for loop_id in self.tracker.outstanding():
             fut = self._futures.get(loop_id)
             if fut is not None:
@@ -116,6 +106,8 @@ class HpxDataflowBackend(Backend):
         # the dataflow of whatever session next reuses this runtime.
         self.tracker.reset()
         self._futures.clear()
+        if self._sched is not None:
+            self._sched.cancel()
 
     # -- emission ------------------------------------------------------------
 
@@ -123,18 +115,7 @@ class HpxDataflowBackend(Backend):
         self, producer: LoopRecord, consumer: LoopRecord, dat: OpDat
     ) -> list[np.ndarray]:
         """Cached consumer-block -> producer-block relation (P-independent)."""
-        key = (
-            producer.loop.name,
-            id(producer.plan),
-            consumer.loop.name,
-            id(consumer.plan),
-            id(dat),
-        )
-        deps = self._blockdep_cache.get(key)
-        if deps is None:
-            deps = block_dependencies(producer, consumer, dat)
-            self._blockdep_cache[key] = deps
-        return deps
+        return self._blockdep_cache.get(producer, consumer, dat)
 
     def emit(
         self,

@@ -1,0 +1,356 @@
+"""Dependency-driven scheduling of measured (``threads``-mode) loops.
+
+This is the measured-mode counterpart of the dataflow emitter: instead of a
+per-loop sequence of fork-join color batches, every chunk of every loop is
+handed to :meth:`~repro.hpx.threadpool.ThreadPoolEngine.submit_after` with
+exactly the predecessor tasks it conflicts with, and is *released* to the
+pool the instant those complete. No color of one loop ever waits for an
+unrelated chunk of another loop — the paper's barrier elimination, on real
+OS threads rather than in the simulator.
+
+Two refinement levels share this scheduler:
+
+- **loop level** (``refine_blocks=False``, the async backend): a consumer
+  chunk waits for the *finalizer* of each producer loop it conflicts with.
+  Per-loop barriers disappear (the returned future resolves at the loop's
+  last task; ``rt.sync(...)`` is the only real join), but cross-loop overlap
+  is limited to independent loops — the Fig 17 execution shape.
+- **block level** (``refine_blocks=True``, the dataflow backend): consumer
+  chunks wait only for the producer *blocks* that touched the same dat rows
+  (:mod:`repro.backends.blockdeps`), so the first chunks of a dependent loop
+  start while late chunks of its producer are still running — the Fig 18
+  execution tree.
+
+Determinism contract (same worker count ⇒ bit-identical results):
+
+- the decomposition (plans, colors, chunks) is wall-clock independent;
+- global MIN/MAX/INC partials are folded by the loop's finalizer in chunk
+  *submission* order, and finalizers of loops reducing into the same global
+  are chained in program order;
+- the dependence tracker runs with ``ordered_increments=True``: two loops
+  incrementing the same dat are ordered by dependency edges, because
+  floating-point ``+=`` streams commute only mathematically, not bitwise;
+- finalizers of loops writing the same dat are chained, so version bumps
+  (plain ``int`` increments) never race.
+
+Loop finalizers run *inline* on whichever worker completes the loop's last
+chunk: they fold partials, bump dat versions once per distinct written dat,
+and record the loop's wall-clock aggregates. The application only ever
+blocks in ``rt.sync(...)`` / ``rt.finish()``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.backends.base import apply_global_partials
+from repro.backends.blockdeps import BlockDepCache, hazard_dats
+from repro.backends.threaded import _run_spans, bump_written_versions, chunk_spans
+from repro.hpx.threadpool import PoolFuture, PoolTask
+from repro.op2.access import Access
+from repro.op2.dat import OpGlobal
+from repro.op2.deps import DatDependencyTracker
+from repro.op2.runtime import LoopRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hpx.chunking import Chunker
+    from repro.op2.parloop import ParLoop
+    from repro.op2.plan import Plan
+    from repro.op2.runtime import Op2Runtime
+
+#: Completed loop handles retained for block-level refinement. Handles still
+#: referenced by the dependence tracker are always kept; beyond that, the
+#: oldest finished loops are dropped so a multi-million-timestep run does not
+#: accumulate one handle (and its task objects) per loop forever.
+HANDLE_RETENTION = 256
+
+
+class _LoopHandle:
+    """Scheduling state of one in-flight (or recently finished) loop."""
+
+    __slots__ = ("rec", "block_task", "chunk_tasks", "final")
+
+    def __init__(
+        self,
+        rec: LoopRecord,
+        block_task: dict[int, PoolTask],
+        chunk_tasks: list[PoolTask],
+        final: PoolTask,
+    ) -> None:
+        self.rec = rec
+        #: plan-wide block id -> the chunk task that executes it.
+        self.block_task = block_task
+        #: every chunk task, in submission (= fold) order.
+        self.chunk_tasks = chunk_tasks
+        #: inline finalizer: folds partials, bumps versions, records timing.
+        self.final = final
+
+
+def _global_rw(rec: LoopRecord) -> dict[int, tuple[bool, bool]]:
+    """``id(global) -> (reads, writes)`` over the loop's global arguments."""
+    out: dict[int, tuple[bool, bool]] = {}
+    for a in rec.loop.args:
+        if isinstance(a.dat, OpGlobal):
+            r, w = out.get(id(a.dat), (False, False))
+            if a.access is Access.READ:
+                r = True
+            else:
+                w = True
+            out[id(a.dat)] = (r, w)
+    return out
+
+
+def _shared_global_hazard(producer: LoopRecord, consumer: LoopRecord) -> bool:
+    """True when one loop reads a global the other reduces into.
+
+    Worker chunks *read* globals at gather time, while reductions mutate them
+    in the producer's finalizer — so a read/write pair cannot be refined to
+    block level and falls back to a whole-loop edge. Write/write pairs need
+    no fallback: both mutations happen in finalizers, which the scheduler
+    chains per global in program order.
+    """
+    prod = _global_rw(producer)
+    for gid, (c_reads, c_writes) in _global_rw(consumer).items():
+        hit = prod.get(gid)
+        if hit is None:
+            continue
+        p_reads, p_writes = hit
+        if (p_writes and c_reads) or (p_reads and c_writes):
+            return True
+    return False
+
+
+class LoopScheduler:
+    """Schedules threads-mode loops as dependency-released pool tasks."""
+
+    def __init__(self, rt: "Op2Runtime", refine_blocks: bool) -> None:
+        self.rt = rt
+        self.refine_blocks = refine_blocks
+        self.tracker: DatDependencyTracker[int] = DatDependencyTracker(
+            ordered_increments=True
+        )
+        #: loop_id -> handle, insertion (= program) order.
+        self.handles: dict[int, _LoopHandle] = {}
+        #: id(global) -> finalizer of its last reducing loop (fold order).
+        self._global_gates: dict[int, PoolTask] = {}
+        #: id(dat) -> finalizer of its last writing loop (version-bump order).
+        self._dat_gates: dict[int, PoolTask] = {}
+        self._block_deps = BlockDepCache()
+
+    # -- dependence analysis -------------------------------------------------
+
+    def _external_deps(
+        self, rec: LoopRecord, producers: list[_LoopHandle]
+    ) -> tuple[dict[int, dict[int, PoolTask]], list[PoolTask]]:
+        """Split producer edges into per-block refinements and loop fallbacks.
+
+        Returns ``(per_block, fallback)``: ``per_block`` maps a consumer
+        block id to the producer chunk tasks it must wait for (deduplicated
+        by task identity); ``fallback`` lists producer finalizers that must
+        precede the consumer's first color wholesale — used when refinement
+        is disabled, the loops share no dat, or a global read/write hazard
+        makes block-level ordering insufficient.
+        """
+        per_block: dict[int, dict[int, PoolTask]] = {}
+        fallback: list[PoolTask] = []
+        for handle in producers:
+            shared = hazard_dats(handle.rec, rec) if self.refine_blocks else []
+            if not shared or _shared_global_hazard(handle.rec, rec):
+                fallback.append(handle.final)
+                continue
+            ptasks = handle.block_task
+            for dat in shared:
+                refined = self._block_deps.get(handle.rec, rec, dat)
+                for b, producer_blocks in enumerate(refined):
+                    if len(producer_blocks) == 0:
+                        continue
+                    bucket = per_block.setdefault(b, {})
+                    for j in producer_blocks:
+                        t = ptasks.get(int(j))
+                        if t is not None:
+                            bucket[id(t)] = t
+        return per_block, fallback
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        loop: "ParLoop",
+        plan: "Plan",
+        chunker: "Chunker",
+        mode: str,
+        loop_id: int,
+    ) -> PoolFuture:
+        """Submit every chunk of ``loop`` with its conflict-exact deps.
+
+        Returns a future that resolves when the loop's finalizer has run —
+        i.e. when results (including global reductions and version bumps)
+        are visible. Nothing blocks here.
+        """
+        pool = self.rt.thread_pool
+        rec = self.rt.obs
+        record = LoopRecord(loop_id=loop_id, loop=loop, plan=plan)
+
+        dep_ids = self.tracker.dependencies(list(loop.args), token=loop_id)
+        producers = [self.handles[d] for d in dep_ids if d in self.handles]
+        per_block, fallback = self._external_deps(record, producers)
+
+        t_loop = rec.now() if rec is not None else 0.0
+        chunk_tasks: list[PoolTask] = []
+        block_task: dict[int, PoolTask] = {}
+        prev_gate: PoolTask | None = None
+        first_color = True
+        ncolors = 0
+        for ci, class_blocks in enumerate(plan.classes):
+            if not class_blocks:
+                continue
+            ncolors += 1
+            color_tasks: list[PoolTask] = []
+            for k, chunk in enumerate(chunker.chunks(len(class_blocks), pool.num_workers)):
+                if not len(chunk):
+                    continue
+                spans = chunk_spans(plan, class_blocks, chunk)
+                deps: list[PoolTask] = []
+                seen: set[int] = set()
+
+                def need(t: PoolTask) -> None:
+                    if id(t) not in seen:
+                        seen.add(id(t))
+                        deps.append(t)
+
+                if prev_gate is not None:
+                    need(prev_gate)
+                if first_color:
+                    # Later colors inherit the fallbacks transitively through
+                    # the previous color's gate.
+                    for t in fallback:
+                        need(t)
+                for bi in class_blocks[chunk.start : chunk.stop]:
+                    bucket = per_block.get(bi)
+                    if bucket:
+                        for t in bucket.values():
+                            need(t)
+                task = pool.submit_after(
+                    lambda s=spans: _run_spans(loop, s, mode),
+                    deps,
+                    loop=loop.name,
+                    color=ci,
+                    index=k,
+                )
+                for bi in class_blocks[chunk.start : chunk.stop]:
+                    block_task[bi] = task
+                color_tasks.append(task)
+                chunk_tasks.append(task)
+            first_color = False
+            if len(color_tasks) == 1:
+                prev_gate = color_tasks[0]
+            elif color_tasks:
+                prev_gate = pool.gate(color_tasks, loop=loop.name, color=ci)
+
+        final_deps: list[PoolTask] = list(chunk_tasks)
+        if not chunk_tasks:
+            # Empty iteration space: the finalizer still carries the loop's
+            # ordering obligations (it is what successors will wait on).
+            final_deps.extend(fallback)
+            for bucket in per_block.values():
+                final_deps.extend(bucket.values())
+        gate_globals: list[int] = []
+        gate_dats: list[int] = []
+        g_seen: set[int] = set()
+        for arg in loop.args:
+            if not arg.access.writes or id(arg.dat) in g_seen:
+                continue
+            g_seen.add(id(arg.dat))
+            if isinstance(arg.dat, OpGlobal):
+                prev = self._global_gates.get(id(arg.dat))
+                gate_globals.append(id(arg.dat))
+            else:
+                prev = self._dat_gates.get(id(arg.dat))
+                gate_dats.append(id(arg.dat))
+            if prev is not None:
+                final_deps.append(prev)
+
+        ntasks = len(chunk_tasks)
+
+        def finish() -> None:
+            partials = []
+            for t in chunk_tasks:  # submission order = deterministic fold
+                partials.extend(t.value())
+            if rec is not None and partials:
+                t0 = rec.now()
+                apply_global_partials(partials)
+                fold_s = rec.now() - t0
+                rec.span(
+                    f"{loop.name}.fold", "fold", loop.name, t0, t0 + fold_s,
+                    busy=True,
+                )
+            else:
+                fold_s = 0.0
+                apply_global_partials(partials)
+            bump_written_versions(loop)
+            if rec is not None:
+                end = rec.now()
+                rec.span(loop.name, "loop", loop.name, t_loop, end)
+                _count, task_s = rec.take_task_totals(loop.name)
+                rec.record_loop(
+                    loop.name, end - t_loop, ncolors, ntasks, task_s, 0.0, fold_s
+                )
+
+        final = pool.submit_after(
+            finish, final_deps, inline=True, loop=loop.name
+        )
+        for gid in gate_globals:
+            self._global_gates[gid] = final
+        for did in gate_dats:
+            self._dat_gates[did] = final
+
+        self.handles[loop_id] = _LoopHandle(record, block_task, chunk_tasks, final)
+        self._prune()
+        return PoolFuture(final, pool, name=f"threads.{loop.name}")
+
+    def _prune(self) -> None:
+        """Drop the oldest finished handles beyond :data:`HANDLE_RETENTION`.
+
+        A handle still live in the tracker can become a producer of a future
+        loop and must stay; an evicted handle's finalizer is complete, so no
+        later loop can need its tasks.
+        """
+        if len(self.handles) <= HANDLE_RETENTION:
+            return
+        live = set(self.tracker.outstanding())
+        for lid in list(self.handles):
+            if len(self.handles) <= HANDLE_RETENTION:
+                return
+            if lid in live:
+                continue
+            if self.handles[lid].final.done():
+                del self.handles[lid]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Join every outstanding finalizer (``rt.finish()``), then reset.
+
+        After this full barrier no dependency can reach back across it, so
+        the tracker and gate chains restart empty — the measured analogue of
+        the emitter replaying a fresh log.
+        """
+        finals = [h.final for h in self.handles.values() if not h.final.done()]
+        if finals:
+            self.rt.thread_pool.wait_all(finals, loop="finalize")
+        self.handles.clear()
+        self._global_gates.clear()
+        self._dat_gates.clear()
+        self.tracker.reset()
+
+    def cancel(self) -> None:
+        """Drop scheduling state after an aborted session (no waiting).
+
+        The runtime cancels the pool's unreleased tasks itself; this only
+        forgets them so a reused runtime does not chain new loops onto stale
+        finalizers.
+        """
+        self.handles.clear()
+        self._global_gates.clear()
+        self._dat_gates.clear()
+        self.tracker.reset()

@@ -11,12 +11,17 @@ here. One ``op_par_loop`` executes as follows:
    contiguous blocks) turns into a handful of large ``execute_loop`` slices —
    exactly the grain numpy needs to release the GIL for meaningful stretches;
 3. serial-prefix chunks (the auto partitioner's measurement pass) run inline
-   on the calling thread *before* the parallel chunks are submitted, matching
-   HPX's behaviour;
-4. global MIN/MAX/INC reductions are **deferred**: each task returns its
-   batch partials, and the calling thread folds them in task-submission order
-   (never completion order) — repeated runs with the same worker count are
-   therefore bit-identical.
+   on the calling thread *before* the parallel chunks are submitted, and are
+   *timed*: the measured per-iteration cost feeds back into the chunker to
+   size the remaining chunks (HPX ``auto_partitioner`` semantics);
+4. a ``dynamic`` chunker (``DynamicChunkSize``) keeps the identical
+   decomposition but hands chunks out on demand from a shared index
+   (self-scheduling): ``min(workers, chunks)`` puller tasks drain the chunk
+   list, storing each chunk's partials into its own slot;
+5. global MIN/MAX/INC reductions are **deferred**: each task returns its
+   batch partials, and the calling thread folds them in chunk-submission
+   order (never completion order) — repeated runs with the same worker count
+   are therefore bit-identical, and dynamic scheduling bit-matches static.
 
 Why this is race-free:
 
@@ -31,12 +36,15 @@ Why this is race-free:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.backends.base import apply_global_partials, execute_loop
 from repro.hpx.chunking import Chunk, Chunker
+from repro.hpx.threadpool import ThreadPoolEngine
 from repro.op2.args import Arg
 from repro.op2.parloop import ParLoop
 from repro.op2.plan import Plan
@@ -91,6 +99,53 @@ def _run_spans(
     return partials
 
 
+def _run_dynamic(
+    pool: ThreadPoolEngine,
+    loop: ParLoop,
+    work: list[list[Span]],
+    mode: str,
+    color: int,
+) -> list[list[tuple[Arg, np.ndarray]]]:
+    """Self-scheduling: pullers drain a shared chunk index on demand.
+
+    Each chunk's partials land in the slot matching its *chunk index*, so
+    the caller folds them in decomposition order and the result bit-matches
+    the statically pre-assigned schedule regardless of which worker ran
+    which chunk.
+    """
+    slots: list[list[tuple[Arg, np.ndarray]] | None] = [None] * len(work)
+    state = {"next": 0}
+    lock = threading.Lock()
+
+    def pull() -> None:
+        while True:
+            with lock:
+                i = state["next"]
+                if i >= len(work):
+                    return
+                state["next"] = i + 1
+            slots[i] = _run_spans(loop, work[i], mode)
+
+    width = min(pool.num_workers, len(work))
+    pool.run_batch([pull for _ in range(width)], loop=loop.name, color=color)
+    assert all(s is not None for s in slots)
+    return slots  # type: ignore[return-value]
+
+
+def bump_written_versions(loop: ParLoop) -> None:
+    """Bump the version of each *distinct* written dat exactly once.
+
+    A dat passed through two args of one loop (e.g. ``res`` via two map
+    columns) must not be double-bumped: dependence invalidation counts
+    writes per loop, not per argument.
+    """
+    seen: set[int] = set()
+    for arg in loop.args:
+        if not arg.is_global and arg.access.writes and id(arg.dat) not in seen:
+            seen.add(id(arg.dat))
+            arg.dat.bump_version()
+
+
 def run_loop_threaded(
     rt: "Op2Runtime",
     loop: ParLoop,
@@ -119,32 +174,44 @@ def run_loop_threaded(
             continue
         ncolors += 1
         t_color = rec.now() if rec is not None else 0.0
-        chunks = chunker.chunks(len(class_blocks), pool.num_workers)
-        thunks = []
-        for chunk in chunks:
-            if len(chunk) == 0:
-                continue
-            spans = chunk_spans(plan, class_blocks, chunk)
-            if chunk.serial_prefix:
-                # HPX's auto partitioner: measurement pass runs on the caller
-                # before any parallel chunk is spawned.
-                if rec is not None:
-                    t0 = rec.now()
-                    partials.extend(_run_spans(loop, spans, mode))
-                    t1 = rec.now()
-                    prefix_s += t1 - t0
-                    rec.span(
-                        f"{loop.name}.c{ci}.prefix", "prefix", loop.name,
-                        t0, t1, color=ci, busy=True,
-                    )
-                else:
-                    partials.extend(_run_spans(loop, spans, mode))
-            else:
-                thunks.append(lambda s=spans: _run_spans(loop, s, mode))
-        ntasks += len(thunks)
-        # One fork-join batch per color: run_batch returns in submission
-        # order only after every task finished (the color barrier).
-        for task_partials in pool.run_batch(thunks, loop=loop.name, color=ci):
+
+        def run_prefix(chunk: Chunk, _blocks=class_blocks, _ci=ci) -> float:
+            # HPX's auto partitioner: the measurement pass runs inline on the
+            # caller before any parallel chunk is spawned, and its wall time
+            # is what the chunker sizes the remaining chunks from.
+            nonlocal prefix_s
+            spans = chunk_spans(plan, _blocks, chunk)
+            t0 = perf_counter()
+            partials.extend(_run_spans(loop, spans, mode))
+            elapsed = perf_counter() - t0
+            if rec is not None:
+                prefix_s += elapsed
+                t1 = rec.now()
+                rec.span(
+                    f"{loop.name}.c{_ci}.prefix", "prefix", loop.name,
+                    t1 - elapsed, t1, color=_ci, busy=True,
+                )
+            return elapsed
+
+        chunks = chunker.split(len(class_blocks), pool.num_workers, measure=run_prefix)
+        work = [
+            chunk_spans(plan, class_blocks, c)
+            for c in chunks
+            if not c.serial_prefix and len(c)
+        ]
+        if chunker.dynamic and work:
+            results = _run_dynamic(pool, loop, work, mode, color=ci)
+            ntasks += min(pool.num_workers, len(work))
+        else:
+            # One fork-join batch per color: run_batch returns in submission
+            # order only after every task finished (the color barrier).
+            results = pool.run_batch(
+                [lambda s=s: _run_spans(loop, s, mode) for s in work],
+                loop=loop.name,
+                color=ci,
+            )
+            ntasks += len(work)
+        for task_partials in results:
             partials.extend(task_partials)
         if rec is not None:
             rec.span(
@@ -153,7 +220,7 @@ def run_loop_threaded(
             )
 
     # Deferred side effects, applied deterministically by the calling thread
-    # (one version bump per writing arg, as a whole-set execute_loop does).
+    # (one version bump per distinct written dat, as execute_loop does).
     fold_s = 0.0
     if rec is not None and partials:
         t0 = rec.now()
@@ -162,9 +229,7 @@ def run_loop_threaded(
         rec.span(f"{loop.name}.fold", "fold", loop.name, t0, t0 + fold_s, busy=True)
     else:
         apply_global_partials(partials)
-    for arg in loop.args:
-        if not arg.is_global and arg.access.writes:
-            arg.dat.bump_version()
+    bump_written_versions(loop)
     if rec is not None:
         rec.span(loop.name, "loop", loop.name, t_loop, rec.now())
         _count, task_s = rec.take_task_totals(loop.name)

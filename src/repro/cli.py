@@ -147,8 +147,23 @@ def _cmd_airfoil(args: argparse.Namespace) -> int:
     if args.mode == "threads":
         workers = args.workers if args.workers is not None else args.threads
         print(f"measured wall clock: {wall * 1000:.1f} ms on {workers} worker thread(s)")
+        _print_pool_stats(rt)
     _emit_observability(rt, args)
     return 0
+
+
+def _print_pool_stats(rt) -> None:
+    """One-line pool scheduling summary (threads mode only).
+
+    ``joins`` is where the orchestrator blocked on workers; ``color joins``
+    the subset that is a per-color fork-join barrier — zero for the
+    dependency-scheduled async/dataflow backends.
+    """
+    s = rt.pool_stats
+    print(
+        f"pool: {s.tasks_submitted} tasks, {s.batches} batches, "
+        f"{s.joins} joins ({s.color_joins} color joins)"
+    )
 
 
 def _cmd_heat(args: argparse.Namespace) -> int:
@@ -170,6 +185,8 @@ def _cmd_heat(args: argparse.Namespace) -> int:
         f"{result.steps} steps on {args.backend}: converged={result.converged}, "
         f"max |dT| {result.max_change:.3e}, energy {result.total_energy:.9f}"
     )
+    if args.mode == "threads":
+        _print_pool_stats(rt)
     _emit_observability(rt, args)
     return 0
 

@@ -28,6 +28,7 @@ from repro.airfoil.meshgen import AirfoilMesh
 from repro.airfoil.validation import compare_states
 from repro.backends.costs import LoopCostModel
 from repro.experiments.config import ExperimentConfig
+from repro.hpx.threadpool import PoolStats
 from repro.obs.timing import TimingSummary
 from repro.op2.config import RuntimeConfig
 from repro.op2.runtime import LoopLog, Op2Runtime
@@ -109,6 +110,8 @@ class MeasuredRun:
     timing: TimingSummary | None = None
     #: Chrome-trace events written (``trace_path`` runs; 0 otherwise).
     trace_events: int = 0
+    #: pool scheduling counters of the last repeat (joins, batches, ...).
+    pool: "PoolStats | None" = None
 
 
 def measure_backend(
@@ -179,6 +182,7 @@ def measure_backend(
         validation=validation,
         timing=summary,
         trace_events=events,
+        pool=rt.pool_stats,
     )
 
 

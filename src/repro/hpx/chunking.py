@@ -52,6 +52,22 @@ class Chunker(ABC):
     def chunks(self, n: int, num_workers: int) -> list[Chunk]:
         """Split ``range(n)`` into chunks. Must exactly cover the range."""
 
+    def split(
+        self,
+        n: int,
+        num_workers: int,
+        measure: Callable[[Chunk], float] | None = None,
+    ) -> list[Chunk]:
+        """Chunk ``range(n)``, running measurement prefixes through ``measure``.
+
+        ``measure(chunk)`` must *execute* the chunk inline and return its
+        wall-clock cost in seconds; measuring chunkers (the auto partitioner)
+        use the per-iteration cost to size the remaining chunks, everything
+        else ignores it. Any returned ``serial_prefix`` chunk has therefore
+        already been executed by ``measure`` — callers must not run it again.
+        """
+        return self.chunks(n, num_workers)
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -102,14 +118,19 @@ class GuessChunkSize(Chunker):
 class AutoPartitioner(Chunker):
     """HPX's auto partitioner: measure ~1% serially, then chunk the rest.
 
-    The first ``max(1, round(n * measure_fraction))`` iterations are marked as
-    a *serial prefix* chunk. The caller executes that chunk inline (optionally
-    timing it via ``cost_probe``), after which the remaining iterations are
-    split into ``CHUNKS_PER_WORKER`` chunks per worker.
+    The first ``max(1, round(n * measure_fraction))`` iterations are marked
+    as a *serial prefix* chunk. Via :meth:`split`, the caller executes (and
+    times) that chunk inline, and the measured per-iteration cost sizes the
+    remaining chunks: ``min_chunk_seconds`` imposes an HPX-style minimum
+    amount of work per chunk, and ``cost_probe`` — a hook receiving the
+    *measured* cost — may override the size outright (the simulator uses it
+    to model cost-aware grain selection without wall-clock nondeterminism).
 
-    ``cost_probe``, when given, receives the measured per-iteration cost and
-    may return an overriding chunk size — the hook the simulator uses to model
-    cost-aware grain selection without wall-clock nondeterminism.
+    The unmeasured :meth:`chunks` path has no per-iteration cost, so neither
+    knob applies there: it always produces the deterministic
+    chunks-per-worker decomposition. (It used to feed the probe a fabricated
+    cost of ``1.0``, which silently divorced the partitioner from its own
+    measurement; the probe now only ever sees real data.)
     """
 
     def __init__(
@@ -117,21 +138,46 @@ class AutoPartitioner(Chunker):
         measure_fraction: float = MEASURE_FRACTION,
         chunks_per_worker: int = CHUNKS_PER_WORKER,
         cost_probe: Callable[[float], int] | None = None,
+        min_chunk_seconds: float = 0.0,
     ) -> None:
         if not 0.0 < measure_fraction < 1.0:
             raise ValidationError(
                 f"measure_fraction must be in (0, 1), got {measure_fraction}"
             )
         check_positive("chunks_per_worker", chunks_per_worker)
+        if min_chunk_seconds < 0.0:
+            raise ValidationError(
+                f"min_chunk_seconds must be >= 0, got {min_chunk_seconds}"
+            )
         self.measure_fraction = measure_fraction
         self.chunks_per_worker = int(chunks_per_worker)
         self.cost_probe = cost_probe
+        #: chunks are grown until one holds at least this much measured work.
+        #: 0.0 (the default) keeps the decomposition independent of the
+        #: measurement, which bit-deterministic runs rely on.
+        self.min_chunk_seconds = float(min_chunk_seconds)
 
     def prefix_length(self, n: int) -> int:
         """Number of iterations executed serially for measurement."""
         if n <= 1:
             return n
         return max(1, round(n * self.measure_fraction))
+
+    def _body_chunks(
+        self, prefix: int, n: int, num_workers: int, cost: float | None
+    ) -> list[Chunk]:
+        """Size the post-prefix chunks; ``cost`` is seconds per iteration."""
+        rest = n - prefix
+        target_chunks = self.chunks_per_worker * num_workers
+        size = max(1, -(-rest // target_chunks))
+        if cost is not None and cost > 0.0 and self.min_chunk_seconds > 0.0:
+            floor = -(-self.min_chunk_seconds // cost)
+            size = max(size, int(floor))
+        if self.cost_probe is not None and cost is not None:
+            override = int(self.cost_probe(cost))
+            if override > 0:
+                size = override
+        return _split_fixed(prefix, n, size)
 
     def chunks(self, n: int, num_workers: int) -> list[Chunk]:
         if n < 0:
@@ -141,16 +187,30 @@ class AutoPartitioner(Chunker):
         check_positive("num_workers", num_workers)
         prefix = self.prefix_length(n)
         out = [Chunk(0, prefix, serial_prefix=True)]
-        rest = n - prefix
-        if rest == 0:
-            return out
-        target_chunks = self.chunks_per_worker * num_workers
-        size = max(1, -(-rest // target_chunks))
-        if self.cost_probe is not None:
-            override = self.cost_probe(1.0)
-            if override > 0:
-                size = override
-        out.extend(_split_fixed(prefix, n, size))
+        if n - prefix:
+            out.extend(self._body_chunks(prefix, n, num_workers, None))
+        return out
+
+    def split(
+        self,
+        n: int,
+        num_workers: int,
+        measure: Callable[[Chunk], float] | None = None,
+    ) -> list[Chunk]:
+        if measure is None:
+            return self.chunks(n, num_workers)
+        if n < 0:
+            raise ValidationError(f"iteration count must be >= 0, got {n}")
+        if n == 0:
+            return []
+        check_positive("num_workers", num_workers)
+        prefix_len = self.prefix_length(n)
+        prefix = Chunk(0, prefix_len, serial_prefix=True)
+        elapsed = float(measure(prefix))
+        cost = elapsed / max(1, prefix_len)
+        out = [prefix]
+        if n - prefix_len:
+            out.extend(self._body_chunks(prefix_len, n, num_workers, cost))
         return out
 
     def describe(self) -> str:

@@ -34,7 +34,7 @@ class ObsEvent:
     """One timed span, in seconds relative to the recorder's epoch."""
 
     name: str
-    kind: str  # "loop" | "color" | "task" | "prefix" | "fold"
+    kind: str  # "loop" | "color" | "task" | "prefix" | "fold" | "release" | "wait"
     loop: str
     row: int  # 0 = orchestrating thread; workers in first-seen order
     start: float
@@ -155,15 +155,21 @@ class TraceRecorder:
         prefix_time: float = 0.0,
         fold_time: float = 0.0,
     ) -> None:
-        """Fold one completed loop into the per-kernel aggregates."""
-        kt = self.kernels.get(name)
-        if kt is None:
-            kt = self.kernels[name] = KernelTiming(name)
-        kt.add(wall, ncolors, ntasks, task_time, prefix_time, fold_time)
-        end = self.now()
-        if self._first is None:
-            self._first = end - wall
-        self._last = end
+        """Fold one completed loop into the per-kernel aggregates.
+
+        Thread-safe: under dependency scheduling the caller is the loop's
+        inline *finalizer* task, which runs on whichever worker completed
+        the loop's last chunk — two loops can finish at the same instant.
+        """
+        with self._lock:
+            kt = self.kernels.get(name)
+            if kt is None:
+                kt = self.kernels[name] = KernelTiming(name)
+            kt.add(wall, ncolors, ntasks, task_time, prefix_time, fold_time)
+            end = self.now()
+            if self._first is None:
+                self._first = end - wall
+            self._last = end
 
     # -- reporting -----------------------------------------------------------
 
@@ -172,7 +178,7 @@ class TraceRecorder:
         with self._lock:
             return sum(self._tasks.values())
 
-    def summary(self, num_workers: int = 1) -> TimingSummary:
+    def summary(self, num_workers: int = 1, joins: int = 0) -> TimingSummary:
         """Snapshot the aggregates as an ``op_timing_output``-style summary."""
         first = self._first if self._first is not None else 0.0
         with self._lock:
@@ -183,6 +189,7 @@ class TraceRecorder:
             busy=busy,
             num_workers=num_workers,
             batches=self.batches,
+            joins=joins,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -71,6 +71,10 @@ class TimingSummary:
     busy: dict[int, float] = field(default_factory=dict)
     num_workers: int = 1
     batches: int = 0
+    #: pool-level joins: every point the orchestrator blocked on workers.
+    #: Fork-join execution pays one per color class; dependency-scheduled
+    #: execution pays one per application sync / finish.
+    joins: int = 0
 
     @property
     def total_tasks(self) -> int:
@@ -124,6 +128,7 @@ class TimingSummary:
         footer = (
             f"span {self.wall * 1e3:.3f} ms on {self.num_workers} worker(s): "
             f"{self.total_tasks} tasks in {self.batches} batches, "
+            f"{self.joins} joins, "
             f"busy {self.worker_busy * 1e3:.3f} ms / idle {idle * 1e3:.3f} ms "
             f"({self.utilization():.1%} utilization)"
         )

@@ -8,7 +8,11 @@ implements the full read/write/increment state machine:
 - a **reader** depends on the last writer and on any increments since;
 - an **incrementer** depends on the last writer and on readers since the last
   write (WAR), but *not* on other incrementers — increments commute, which is
-  how ``res_calc`` and ``bres_calc`` overlap in the paper;
+  how ``res_calc`` and ``bres_calc`` overlap in the paper. On real threads
+  floating-point increments commute only *mathematically*, not bitwise, so
+  the measured scheduler constructs the tracker with
+  ``ordered_increments=True`` and serializes incrementers of the same dat in
+  program order — determinism over a sliver of overlap;
 - a **writer** depends on everything outstanding (last writer, readers,
   incrementers) and then resets the state.
 
@@ -39,7 +43,13 @@ class _DatState(Generic[T]):
 class DatDependencyTracker(Generic[T]):
     """Tracks producer/consumer tokens per dat (keyed by ``id(dat)``)."""
 
-    def __init__(self) -> None:
+    def __init__(self, ordered_increments: bool = False) -> None:
+        #: when True, an incrementer also depends on earlier incrementers of
+        #: the same dat. Bitwise determinism on real threads needs this: two
+        #: concurrent ``+=`` streams into shared rows produce
+        #: schedule-dependent rounding even though the sums commute exactly
+        #: in the simulator's functional model.
+        self.ordered_increments = bool(ordered_increments)
         self._states: dict[int, _DatState[T]] = {}
 
     def _state(self, dat: object) -> _DatState[T]:
@@ -76,6 +86,9 @@ class DatDependencyTracker(Generic[T]):
                 need(st.last_writer)
                 for t in st.readers_since_write:
                     need(t)
+                if self.ordered_increments:
+                    for t in st.incs_since_write:
+                        need(t)
             else:  # WRITE / RW
                 need(st.last_writer)
                 for t in st.readers_since_write:

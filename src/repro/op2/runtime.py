@@ -17,7 +17,7 @@ from typing import Any, Iterator
 
 from repro.hpx.future import Future
 from repro.hpx.runtime import HPXRuntime, set_runtime
-from repro.hpx.threadpool import ThreadPoolEngine
+from repro.hpx.threadpool import PoolStats, ThreadPoolEngine
 from repro.obs.recorder import TraceRecorder
 from repro.obs.timing import TimingSummary
 from repro.op2.config import RuntimeConfig
@@ -115,6 +115,7 @@ class Op2Runtime:
             else None
         )
         self._pool: ThreadPoolEngine | None = None
+        self._pool_stats: PoolStats | None = None
         self._next_loop_id = 0
         self.backend.on_attach(self)
 
@@ -125,6 +126,20 @@ class Op2Runtime:
             self._pool = ThreadPoolEngine(self.num_workers)
             self._pool.recorder = self.obs
         return self._pool
+
+    @property
+    def pool_stats(self) -> PoolStats:
+        """Pool activity counters; survives :meth:`close` as a snapshot.
+
+        Benchmarks read this *after* a session exits (the ``with`` block
+        closes the pool on the way out), so the counters of the released
+        pool are kept rather than discarded with it.
+        """
+        if self._pool is not None:
+            return self._pool.stats
+        if self._pool_stats is not None:
+            return self._pool_stats
+        return PoolStats()
 
     # -- loop execution -----------------------------------------------------
 
@@ -172,6 +187,11 @@ class Op2Runtime:
         and backend scheduling state is reset, so a runtime reused by a
         later session does not replay this session's stale work.
         """
+        if self._pool is not None:
+            # Unreleased dependency-scheduled tasks must never fire after
+            # their session aborted; in-flight ones are waited out so no
+            # worker still mutates shared dats when control returns.
+            self._pool.cancel_all()
         self.backend.cancel(self)
         self.hpx.executor.cancel_pending()
 
@@ -184,7 +204,7 @@ class Op2Runtime:
                 "timing is not enabled; construct the session with "
                 "timing=True or trace=True"
             )
-        return self.obs.summary(self.num_workers)
+        return self.obs.summary(self.num_workers, joins=self.pool_stats.joins)
 
     def export_trace(self, path) -> int:
         """Write the measured Chrome-trace JSON; returns the event count."""
@@ -206,6 +226,7 @@ class Op2Runtime:
         """
         if self._pool is not None:
             self._pool.close()
+            self._pool_stats = self._pool.stats
             self._pool = None
 
     # -- session management -------------------------------------------------

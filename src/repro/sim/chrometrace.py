@@ -32,6 +32,8 @@ _KIND_COLORS = {
     "color": "rail_animation",
     "task": "thread_state_running",
     "fold": "bad",
+    "release": "startup",
+    "wait": "terrible",
 }
 
 

@@ -5,7 +5,13 @@ import time
 
 import pytest
 
-from repro.hpx.threadpool import PoolStats, ThreadPoolEngine, chain_errors
+from repro.hpx.threadpool import (
+    PoolFuture,
+    PoolStats,
+    TaskCancelled,
+    ThreadPoolEngine,
+    chain_errors,
+)
 from repro.util.validate import ValidationError
 
 
@@ -117,6 +123,163 @@ class TestRunBatch:
             with pytest.raises(ValueError):
                 pool.run_batch([fail, slow_ok, slow_ok])
         assert len(done) == 2
+
+
+class TestSubmitAfter:
+    def test_runs_without_any_join(self):
+        """A dependency chain completes by itself; waiting is optional."""
+        done = threading.Event()
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(lambda: 1)
+            b = pool.submit_after(lambda: 2, [a])
+            pool.submit_after(done.set, [b])
+            assert done.wait(5.0)
+            assert pool.stats.joins == 0
+
+    def test_task_never_starts_before_dependency_completes(self):
+        """The release-order invariant, via the engine's sequence counters."""
+        with ThreadPoolEngine(4) as pool:
+            pool.keep_history = True
+            a = pool.submit_after(lambda: "a")
+            b = pool.submit_after(lambda: "b", [a])
+            c = pool.submit_after(lambda: "c", [a, b])
+            assert pool.wait_for(c) == "c"
+        for task, deps in [(b, [a]), (c, [a, b])]:
+            for dep in deps:
+                assert task.started_seq > dep.done_seq
+
+    def test_blocked_dependency_holds_back_the_dependent(self):
+        hold = threading.Event()
+        started = threading.Event()
+
+        def blocked():
+            hold.wait(5.0)
+            return "slow"
+
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(blocked)
+            b = pool.submit_after(started.set, [a])
+            assert not started.wait(0.05)
+            assert not b.done()
+            hold.set()
+            pool.wait_for(b)
+            assert started.is_set()
+
+    def test_release_happens_on_completing_thread_for_inline_tasks(self):
+        """Inline tasks run on whichever worker finished the last dep."""
+        hold = threading.Event()
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(lambda: hold.wait(5.0))
+            fin = pool.submit_after(
+                lambda: threading.current_thread().name, [a], inline=True
+            )
+            hold.set()  # only now may a finish: fin's edge is registered
+            pool.wait_for(fin)
+        assert fin.value().startswith("op2-worker")
+
+    def test_results_readable_without_blocking(self):
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(lambda: 21)
+            b = pool.submit_after(lambda: a.value() * 2, [a])
+            assert pool.wait_for(b) == 42
+            assert a.value() == 21
+
+    def test_failure_cascades_without_running_dependents(self):
+        ran = []
+
+        def boom():
+            raise ValueError("root failure")
+
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(boom)
+            b = pool.submit_after(lambda: ran.append("b"), [a])
+            c = pool.submit_after(lambda: ran.append("c"), [b])
+            with pytest.raises(ValueError, match="root failure"):
+                pool.wait_for(c)
+            assert ran == []
+            assert b.failed() and c.failed()
+            # Only the task that actually ran counts as failed.
+            assert pool.stats.tasks_failed == 1
+
+    def test_gate_is_pure_synchronization(self):
+        with ThreadPoolEngine(2) as pool:
+            tasks = [pool.submit_after(lambda i=i: i) for i in range(4)]
+            g = pool.gate(tasks, loop="sync")
+            after = pool.submit_after(lambda: sum(t.value() for t in tasks), [g])
+            assert pool.wait_for(after) == 6
+
+    def test_deep_inline_chain_does_not_recurse(self):
+        """Thousands of chained gates release iteratively, not recursively."""
+        hold = threading.Event()
+        with ThreadPoolEngine(1) as pool:
+            root = pool.submit_after(lambda: hold.wait(5.0))
+            tail = root
+            for _ in range(2000):
+                tail = pool.gate([tail])
+            hold.set()
+            pool.wait_for(tail)
+            assert tail.done() and not tail.failed()
+
+    def test_cancel_all_discards_waiting_tasks(self):
+        hold = threading.Event()
+        ran = []
+        with ThreadPoolEngine(1) as pool:
+            a = pool.submit_after(lambda: hold.wait(5.0))
+            b = pool.submit_after(lambda: ran.append("b"), [a])
+            # Release the in-flight task shortly after cancel_all starts
+            # draining; cancel_all must wait it out but never release b.
+            timer = threading.Timer(0.05, hold.set)
+            timer.start()
+            cancelled = pool.cancel_all()
+            timer.join()
+            assert cancelled == 1
+            assert pool.stats.tasks_cancelled == 1
+            assert a.done() and not a.failed()
+            with pytest.raises(TaskCancelled):
+                pool.wait_for(b)
+            assert ran == []
+
+    def test_close_cancels_dangling_tasks(self):
+        hold = threading.Event()
+        pool = ThreadPoolEngine(1)
+        a = pool.submit_after(lambda: hold.wait(5.0))
+        b = pool.submit_after(lambda: "never", [a])
+        hold.set()
+        pool.close()
+        assert a.done()
+        assert b.done()
+
+    def test_keep_history_retains_dependency_edges(self):
+        with ThreadPoolEngine(2) as pool:
+            pool.keep_history = True
+            a = pool.submit_after(lambda: 1)
+            b = pool.submit_after(lambda: 2, [a])
+            pool.wait_for(b)
+            assert b.deps == (a,)
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(lambda: 1)
+            b = pool.submit_after(lambda: 2, [a])
+            pool.wait_for(b)
+            assert b.deps == ()  # edges dropped so history can't leak
+
+    def test_wait_counters(self):
+        with ThreadPoolEngine(2) as pool:
+            a = pool.submit_after(lambda: 1)
+            pool.wait_for(a)
+            pool.wait_all([a], loop="x")
+            assert pool.stats.joins == 2
+            assert pool.stats.color_joins == 0
+            pool.run_batch([lambda: 1], loop="x", color=0)
+            assert pool.stats.joins == 3
+            assert pool.stats.color_joins == 1
+
+    def test_pool_future_resolves_through_engine(self):
+        with ThreadPoolEngine(2) as pool:
+            task = pool.submit_after(lambda: "value")
+            fut = PoolFuture(task, pool, name="threads.loop")
+            assert fut.get() == "value"
+            assert fut.is_ready() and not fut.has_exception()
+            assert pool.stats.joins == 1
 
 
 class TestChainErrors:

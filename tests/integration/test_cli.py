@@ -99,7 +99,11 @@ class TestObservabilityFlags:
             e["args"]["kind"] for e in events
             if e.get("ph") == "X" and "kind" in e.get("args", {})
         }
-        assert {"loop", "color", "task"} <= kinds
+        # The default backend (hpx_dataflow) is dependency-scheduled in
+        # threads mode: chunk releases replace per-color barriers, so the
+        # trace carries "release" spans and no "color" spans.
+        assert {"loop", "task", "release"} <= kinds
+        assert "pool:" in out and "color joins" in out
 
     def test_heat_sim_trace_and_timing(self, tmp_path, capsys):
         import json

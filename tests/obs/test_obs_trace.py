@@ -60,15 +60,15 @@ class TestThreadsTrace:
         assert len(events) == n
         durations = _check_trace_schema(events)
         kinds = {e["args"]["kind"] for e in durations}
-        assert {"loop", "color", "task"} <= kinds
+        # hpx_dataflow is dependency-scheduled in threads mode: chunk
+        # "release" spans replace per-color barriers (no "color" spans).
+        assert {"loop", "task", "release"} <= kinds
+        assert "color" not in kinds
         loops = {e["args"]["loop"] for e in durations}
         assert "res_calc" in loops and "update" in loops
         # Task lanes belong to worker rows, never the orchestrator's tid 0.
         assert all(
             e["tid"] > 0 for e in durations if e["args"]["kind"] == "task"
-        )
-        assert all(
-            e["tid"] == 0 for e in durations if e["args"]["kind"] == "loop"
         )
 
     def test_timing_summary_covers_all_kernels(self, tiny_mesh):
@@ -81,7 +81,8 @@ class TestThreadsTrace:
         assert res.count == 2 * NITER  # two res_calc sweeps per iteration
         assert res.colors >= 2  # indirect loop: multiple color classes
         assert res.tasks > 0 and res.task_time > 0.0
-        assert summary.total_tasks > 0 and summary.batches > 0
+        # Dependency scheduling never dispatches fork-join batches.
+        assert summary.total_tasks > 0 and summary.batches == 0
 
     def test_timing_only_mode_has_no_event_stream(self, tiny_mesh, tmp_path):
         rt, _, _ = _run_airfoil(tiny_mesh, timing=True)
