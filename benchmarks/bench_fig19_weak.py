@@ -137,6 +137,59 @@ def test_fig19_threads_wallclock(bench_workers, bench_trace_dir):
         print(report)
 
 
+def test_fig19_procs_wallclock(bench_ranks, bench_trace_dir):
+    """Measured weak scaling over real rank *processes* (procs mode).
+
+    The mesh grows with the rank count (constant cells per rank), mirroring
+    the threads-mode weak-scaling variant but with actual address-space
+    separation and pipe halo exchanges. Efficiency is T(min ranks)/T(R);
+    multi-core hosts should hold it near 1.0, a 1-core host cannot.
+    """
+    from repro.procs import ProcsConfig, run_procs
+
+    niter = 2
+    base = min(bench_ranks)
+    wall: dict[tuple[int, str], float] = {}
+    meshes = {}
+    for ranks in bench_ranks:
+        ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, ranks)
+        meshes[ranks] = generate_mesh(ni=ni, nj=nj)
+        for schedule in ("blocking", "overlapped"):
+            trace_dir = (
+                bench_trace_dir / f"fig19-procs-{ranks}r-{schedule}"
+                if bench_trace_dir is not None
+                else None
+            )
+            res = run_procs(
+                meshes[ranks],
+                ProcsConfig(ranks=ranks, niter=niter, schedule=schedule,
+                            trace_dir=trace_dir),
+            )
+            wall[(ranks, schedule)] = res.wall_seconds * 1e3
+            assert res.wall_seconds > 0.0
+
+    table = Table(
+        ["ranks", "cells", "blocking ms", "overlapped ms",
+         "blocking eff", "overlapped eff"]
+    )
+    for ranks in bench_ranks:
+        table.add_row(
+            [
+                ranks,
+                meshes[ranks].cells.size,
+                wall[(ranks, "blocking")],
+                wall[(ranks, "overlapped")],
+                wall[(base, "blocking")] / wall[(ranks, "blocking")],
+                wall[(base, "overlapped")] / wall[(ranks, "overlapped")],
+            ]
+        )
+    print(
+        f"\n== fig19 measured: weak scaling over rank processes "
+        f"(problem ∝ ranks; {available_cores()} usable core(s)) =="
+    )
+    print(table.render())
+
+
 if __name__ == "__main__":
     import sys
 

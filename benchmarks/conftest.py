@@ -11,7 +11,12 @@ Every ``bench_fig*`` file runs in one of two modes:
   a real ``ThreadPoolExecutor`` and report measured wall-clock numbers next
   to the simulated ones. ``--workers`` picks the worker sweep (default
   ``1,4``). Each file is also directly runnable:
-  ``python benchmarks/bench_fig16_foreach.py --mode threads``.
+  ``python benchmarks/bench_fig16_foreach.py --mode threads``;
+- ``--mode procs``: the ``*_procs_wallclock`` tests run the distributed
+  Airfoil for real — one OS process per rank over shared-memory dats and
+  pipe halo exchanges (:mod:`repro.procs`) — comparing the blocking vs
+  overlapped exchange schedules. ``--ranks`` picks the rank sweep
+  (default ``2``).
 """
 
 from __future__ import annotations
@@ -34,15 +39,22 @@ def pytest_addoption(parser):
         "--mode",
         action="store",
         default="sim",
-        choices=("sim", "threads"),
-        help="bench execution: 'sim' (machine model, default) or 'threads' "
-        "(real thread pool, measured wall clock)",
+        choices=("sim", "threads", "procs"),
+        help="bench execution: 'sim' (machine model, default), 'threads' "
+        "(real thread pool, measured wall clock), or 'procs' (real rank "
+        "processes over shared memory, measured wall clock)",
     )
     group.addoption(
         "--workers",
         action="store",
         default="1,4",
         help="comma-separated worker counts for --mode threads (default: 1,4)",
+    )
+    group.addoption(
+        "--ranks",
+        action="store",
+        default="2",
+        help="comma-separated rank counts for --mode procs (default: 2)",
     )
     group.addoption(
         "--trace-dir",
@@ -59,16 +71,21 @@ def pytest_collection_modifyitems(config, items):
         mode = config.getoption("--mode")
     except (ValueError, KeyError):  # option not registered in this run
         return
-    skip_sim = pytest.mark.skip(reason="sim-mode benchmark; running --mode threads")
-    skip_threads = pytest.mark.skip(reason="threads-mode benchmark; pass --mode threads")
     for item in items:
         if not str(item.fspath).startswith(_BENCH_DIR):
             continue
-        is_wallclock = "threads_wallclock" in item.name
-        if mode == "threads" and not is_wallclock:
-            item.add_marker(skip_sim)
-        elif mode == "sim" and is_wallclock:
-            item.add_marker(skip_threads)
+        if "threads_wallclock" in item.name:
+            wants = "threads"
+        elif "procs_wallclock" in item.name:
+            wants = "procs"
+        else:
+            wants = "sim"
+        if wants != mode:
+            item.add_marker(
+                pytest.mark.skip(
+                    reason=f"{wants}-mode benchmark; running --mode {mode}"
+                )
+            )
 
 
 @pytest.fixture(scope="session")
@@ -94,6 +111,15 @@ def bench_workers(request) -> tuple[int, ...]:
     if not workers:
         raise pytest.UsageError("--workers must name at least one worker count")
     return workers
+
+
+@pytest.fixture(scope="session")
+def bench_ranks(request) -> tuple[int, ...]:
+    raw = request.config.getoption("--ranks")
+    ranks = tuple(sorted({int(r) for r in str(raw).split(",") if r.strip()}))
+    if not ranks:
+        raise pytest.UsageError("--ranks must name at least one rank count")
+    return ranks
 
 #: Calibrated scale: the mesh where the machine model reproduces the paper's
 #: 5% / 21% gains (see DESIGN.md §5 and EXPERIMENTS.md).

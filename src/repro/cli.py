@@ -207,6 +207,8 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_dist(args: argparse.Namespace) -> int:
+    if args.mode == "procs":
+        return _cmd_dist_procs(args)
     import numpy as np
 
     from repro.airfoil import ReferenceAirfoil, generate_mesh
@@ -237,6 +239,74 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         f"overlapped {to / 1000:.3f} ms (gain {tb / to - 1.0:+.1%})"
     )
     return 0
+
+
+def _cmd_dist_procs(args: argparse.Namespace) -> int:
+    """Measured SPMD run: one OS process per rank over shared-memory dats."""
+    import numpy as np
+
+    from repro.airfoil import ReferenceAirfoil, generate_mesh
+    from repro.procs import ProcsConfig, run_procs
+    from repro.util.tables import Table
+
+    mesh = generate_mesh(ni=args.ni, nj=args.nj)
+    ref = ReferenceAirfoil(mesh)
+    ref.run(args.iters)
+    schedules = (
+        ["blocking", "overlapped"] if args.schedule == "both" else [args.schedule]
+    )
+    work = mesh.cells.size * args.iters
+    table = Table(
+        ["schedule", "wall ms", "cells*iters/s", "max |q-q_ref|", "halo KiB"]
+    )
+    status = 0
+    last = None
+    for schedule in schedules:
+        trace_dir = args.trace_dir
+        if trace_dir is not None and len(schedules) > 1:
+            trace_dir = str(Path(trace_dir) / schedule)
+        res = run_procs(
+            mesh,
+            ProcsConfig(
+                ranks=args.ranks,
+                niter=args.iters,
+                schedule=schedule,
+                partitioner=args.partitioner,
+                spawn_method=args.spawn_method,
+                trace_dir=trace_dir,
+                timing=args.timing,
+            ),
+        )
+        last = res
+        err = float(np.abs(res.q - ref.q).max())
+        halo_kib = (
+            res.comm.get("bytes_updated", 0)
+            + res.comm.get("bytes_accumulated", 0)
+        ) / 1024
+        table.add_row(
+            [schedule, res.wall_seconds * 1e3, work / res.wall_seconds, err, halo_kib]
+        )
+        if err > 1e-12:
+            status = 1
+        if args.timing:
+            print(f"== per-kernel timing ({schedule}, {args.ranks} ranks) ==")
+            print(res.timing_summary().render())
+        if res.trace_path is not None:
+            print(f"trace: merged per-rank lanes into {res.trace_path}")
+    print(f"procs: {args.ranks} ranks x {args.iters} iters on {mesh.summary()}")
+    print(table.render())
+    if last is not None and last.fitted_comm is not None:
+        fc = last.fitted_comm
+        print(
+            f"fitted comm model: latency {fc.latency:.3f} us, "
+            f"bandwidth {fc.bandwidth:.1f} MB/s "
+            f"({len(last.reports)} ranks, "
+            f"{last.comm.get('messages_updated', 0) + last.comm.get('messages_accumulated', 0)}"
+            " messages observed)"
+        )
+    if status:
+        print("VALIDATION FAILED: procs solution diverged from single-rank solver")
+    return status
 
 
 def _add_obs_arguments(p: argparse.ArgumentParser) -> None:
@@ -311,6 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=3)
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--partitioner", default="rcb", choices=["rcb", "band"])
+    p.add_argument(
+        "--mode", default="sim", choices=["sim", "procs"],
+        help="sim: in-process SPMD + cluster schedule simulation; "
+        "procs: measured rank-per-process run over shared memory",
+    )
+    p.add_argument(
+        "--schedule", default="both", choices=["blocking", "overlapped", "both"],
+        help="halo-exchange schedule(s) to run in --mode procs",
+    )
+    p.add_argument(
+        "--spawn-method", default=None, choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method (default: fork where available)",
+    )
+    p.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write per-rank spans and a merged Chrome trace here (procs mode)",
+    )
+    p.add_argument(
+        "--timing", action="store_true",
+        help="print per-kernel timing tables (procs mode)",
+    )
 
     return parser
 

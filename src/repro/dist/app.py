@@ -45,7 +45,7 @@ from repro.util.validate import ValidationError
 
 
 @dataclass
-class _RankState:
+class RankState:
     """One rank's arrays, dat views and loop objects."""
 
     plan: RankPlan
@@ -55,6 +55,133 @@ class _RankState:
     adt: np.ndarray
     rms: OpGlobal
     loops: dict[str, ParLoop]
+
+
+def make_owner(mesh: AirfoilMesh, ranks: int, partitioner: str) -> np.ndarray:
+    """Cell->rank assignment for the named partitioner ('rcb' or 'band')."""
+    if partitioner == "rcb":
+        return rcb_partition(cell_centroids(mesh), ranks)
+    if partitioner == "band":
+        return band_partition(mesh.cells.size, ranks)
+    raise ValidationError(
+        f"unknown partitioner {partitioner!r}; use 'rcb' or 'band'"
+    )
+
+
+def build_rank_state(
+    rp: RankPlan,
+    kernels: dict,
+    g_qinf: OpGlobal,
+    freestream: np.ndarray,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> RankState:
+    """Build one rank's dat views and loop objects.
+
+    ``arrays`` optionally supplies preallocated storage for the four cell
+    fields (``q``/``res``/``adt`` over owned+halo rows, ``qold`` over owned
+    rows) — the procs mode passes views over shared-memory segments here so
+    the parent can assemble results without copying through a queue. The
+    arrays are (re)initialized in place; omitted, fresh numpy storage is
+    allocated.
+    """
+    n_local = rp.n_owned + rp.n_halo
+    if arrays is None:
+        arrays = {
+            "q": np.empty((n_local, 4)),
+            "qold": np.zeros((rp.n_owned, 4)),
+            "res": np.zeros((n_local, 4)),
+            "adt": np.zeros((n_local, 1)),
+        }
+    q, qold, res, adt = arrays["q"], arrays["qold"], arrays["res"], arrays["adt"]
+    if q.shape != (n_local, 4) or qold.shape != (rp.n_owned, 4):
+        raise ValidationError(
+            f"rank {rp.rank} array shapes do not match its plan layout"
+        )
+    q[:] = freestream
+    qold[:] = 0.0
+    res[:] = 0.0
+    adt[:] = 0.0
+    x = OpDat("x", rp.nodes_set, 2, rp.x_local)
+    bound = OpDat("bound", rp.bedges_set, 1, rp.bound_local, dtype=np.int64)
+    rms = OpGlobal(f"rms.r{rp.rank}", 1)
+
+    # Owned-set views (direct cell loops) share storage with the
+    # full-local-set dats (indirect edge loops): q[:n_owned] is a
+    # contiguous view, so writes through either dat are the same memory.
+    q_owned = OpDat("q", rp.owned_set, 4, q[: rp.n_owned])
+    q_cells = OpDat("q", rp.cells_set, 4, q)
+    qold_owned = OpDat("qold", rp.owned_set, 4, qold)
+    res_owned = OpDat("res", rp.owned_set, 4, res[: rp.n_owned])
+    res_cells = OpDat("res", rp.cells_set, 4, res)
+    adt_owned = OpDat("adt", rp.owned_set, 1, adt[: rp.n_owned])
+    adt_cells = OpDat("adt", rp.cells_set, 1, adt)
+
+    loops = {
+        "save_soln": ParLoop(
+            kernels["save_soln"],
+            "save_soln",
+            rp.owned_set,
+            (
+                op_arg_dat(q_owned, -1, OP_ID, OP_READ),
+                op_arg_dat(qold_owned, -1, OP_ID, OP_WRITE),
+            ),
+        ),
+        "adt_calc": ParLoop(
+            kernels["adt_calc"],
+            "adt_calc",
+            rp.owned_set,
+            (
+                op_arg_dat(x, 0, rp.pcell, OP_READ),
+                op_arg_dat(x, 1, rp.pcell, OP_READ),
+                op_arg_dat(x, 2, rp.pcell, OP_READ),
+                op_arg_dat(x, 3, rp.pcell, OP_READ),
+                op_arg_dat(q_owned, -1, OP_ID, OP_READ),
+                op_arg_dat(adt_owned, -1, OP_ID, OP_WRITE),
+            ),
+        ),
+        "res_calc": ParLoop(
+            kernels["res_calc"],
+            "res_calc",
+            rp.edges_set,
+            (
+                op_arg_dat(x, 0, rp.pedge, OP_READ),
+                op_arg_dat(x, 1, rp.pedge, OP_READ),
+                op_arg_dat(q_cells, 0, rp.pecell, OP_READ),
+                op_arg_dat(q_cells, 1, rp.pecell, OP_READ),
+                op_arg_dat(adt_cells, 0, rp.pecell, OP_READ),
+                op_arg_dat(adt_cells, 1, rp.pecell, OP_READ),
+                op_arg_dat(res_cells, 0, rp.pecell, OP_INC),
+                op_arg_dat(res_cells, 1, rp.pecell, OP_INC),
+            ),
+        ),
+        "bres_calc": ParLoop(
+            kernels["bres_calc"],
+            "bres_calc",
+            rp.bedges_set,
+            (
+                op_arg_dat(x, 0, rp.pbedge, OP_READ),
+                op_arg_dat(x, 1, rp.pbedge, OP_READ),
+                op_arg_dat(q_cells, 0, rp.pbecell, OP_READ),
+                op_arg_dat(adt_cells, 0, rp.pbecell, OP_READ),
+                op_arg_dat(res_cells, 0, rp.pbecell, OP_INC),
+                op_arg_dat(bound, -1, OP_ID, OP_READ),
+                op_arg_gbl(g_qinf, OP_READ),
+            ),
+        ),
+        "update": ParLoop(
+            kernels["update"],
+            "update",
+            rp.owned_set,
+            (
+                op_arg_dat(qold_owned, -1, OP_ID, OP_READ),
+                op_arg_dat(q_owned, -1, OP_ID, OP_WRITE),
+                op_arg_dat(res_owned, -1, OP_ID, OP_RW),
+                op_arg_dat(adt_owned, -1, OP_ID, OP_READ),
+                op_arg_gbl(rms, OP_INC),
+            ),
+        ),
+    }
+    return RankState(plan=rp, q=q, qold=qold, res=res, adt=adt, rms=rms, loops=loops)
 
 
 class DistAirfoil:
@@ -69,113 +196,17 @@ class DistAirfoil:
     ) -> None:
         self.mesh = mesh
         self.constants = constants
-        if partitioner == "rcb":
-            owner = rcb_partition(cell_centroids(mesh), ranks)
-        elif partitioner == "band":
-            owner = band_partition(mesh.cells.size, ranks)
-        else:
-            raise ValidationError(
-                f"unknown partitioner {partitioner!r}; use 'rcb' or 'band'"
-            )
+        owner = make_owner(mesh, ranks, partitioner)
         self.dplan: DistPlan = build_dist_plan(mesh, owner)
         self.exchange = HaloExchange(self.dplan)
         self.kernels = make_kernels(constants)
         freestream = constants.freestream()
         self.g_qinf = OpGlobal("qinf", 4, freestream)
-        self.states: list[_RankState] = [
-            self._build_rank(rp, freestream) for rp in self.dplan.plans
+        self.states: list[RankState] = [
+            build_rank_state(rp, self.kernels, self.g_qinf, freestream)
+            for rp in self.dplan.plans
         ]
         self.iterations = 0
-
-    # -- per-rank construction ------------------------------------------------
-
-    def _build_rank(self, rp: RankPlan, freestream: np.ndarray) -> _RankState:
-        n_local = rp.n_owned + rp.n_halo
-        q = np.tile(freestream, (n_local, 1))
-        qold = np.zeros((rp.n_owned, 4))
-        res = np.zeros((n_local, 4))
-        adt = np.zeros((n_local, 1))
-        x = OpDat("x", rp.nodes_set, 2, rp.x_local)
-        bound = OpDat("bound", rp.bedges_set, 1, rp.bound_local, dtype=np.int64)
-        rms = OpGlobal(f"rms.r{rp.rank}", 1)
-
-        # Owned-set views (direct cell loops) share storage with the
-        # full-local-set dats (indirect edge loops): q[:n_owned] is a
-        # contiguous view, so writes through either dat are the same memory.
-        q_owned = OpDat("q", rp.owned_set, 4, q[: rp.n_owned])
-        q_cells = OpDat("q", rp.cells_set, 4, q)
-        qold_owned = OpDat("qold", rp.owned_set, 4, qold)
-        res_owned = OpDat("res", rp.owned_set, 4, res[: rp.n_owned])
-        res_cells = OpDat("res", rp.cells_set, 4, res)
-        adt_owned = OpDat("adt", rp.owned_set, 1, adt[: rp.n_owned])
-        adt_cells = OpDat("adt", rp.cells_set, 1, adt)
-
-        loops = {
-            "save_soln": ParLoop(
-                self.kernels["save_soln"],
-                "save_soln",
-                rp.owned_set,
-                (
-                    op_arg_dat(q_owned, -1, OP_ID, OP_READ),
-                    op_arg_dat(qold_owned, -1, OP_ID, OP_WRITE),
-                ),
-            ),
-            "adt_calc": ParLoop(
-                self.kernels["adt_calc"],
-                "adt_calc",
-                rp.owned_set,
-                (
-                    op_arg_dat(x, 0, rp.pcell, OP_READ),
-                    op_arg_dat(x, 1, rp.pcell, OP_READ),
-                    op_arg_dat(x, 2, rp.pcell, OP_READ),
-                    op_arg_dat(x, 3, rp.pcell, OP_READ),
-                    op_arg_dat(q_owned, -1, OP_ID, OP_READ),
-                    op_arg_dat(adt_owned, -1, OP_ID, OP_WRITE),
-                ),
-            ),
-            "res_calc": ParLoop(
-                self.kernels["res_calc"],
-                "res_calc",
-                rp.edges_set,
-                (
-                    op_arg_dat(x, 0, rp.pedge, OP_READ),
-                    op_arg_dat(x, 1, rp.pedge, OP_READ),
-                    op_arg_dat(q_cells, 0, rp.pecell, OP_READ),
-                    op_arg_dat(q_cells, 1, rp.pecell, OP_READ),
-                    op_arg_dat(adt_cells, 0, rp.pecell, OP_READ),
-                    op_arg_dat(adt_cells, 1, rp.pecell, OP_READ),
-                    op_arg_dat(res_cells, 0, rp.pecell, OP_INC),
-                    op_arg_dat(res_cells, 1, rp.pecell, OP_INC),
-                ),
-            ),
-            "bres_calc": ParLoop(
-                self.kernels["bres_calc"],
-                "bres_calc",
-                rp.bedges_set,
-                (
-                    op_arg_dat(x, 0, rp.pbedge, OP_READ),
-                    op_arg_dat(x, 1, rp.pbedge, OP_READ),
-                    op_arg_dat(q_cells, 0, rp.pbecell, OP_READ),
-                    op_arg_dat(adt_cells, 0, rp.pbecell, OP_READ),
-                    op_arg_dat(res_cells, 0, rp.pbecell, OP_INC),
-                    op_arg_dat(bound, -1, OP_ID, OP_READ),
-                    op_arg_gbl(self.g_qinf, OP_READ),
-                ),
-            ),
-            "update": ParLoop(
-                self.kernels["update"],
-                "update",
-                rp.owned_set,
-                (
-                    op_arg_dat(qold_owned, -1, OP_ID, OP_READ),
-                    op_arg_dat(q_owned, -1, OP_ID, OP_WRITE),
-                    op_arg_dat(res_owned, -1, OP_ID, OP_RW),
-                    op_arg_dat(adt_owned, -1, OP_ID, OP_READ),
-                    op_arg_gbl(rms, OP_INC),
-                ),
-            ),
-        }
-        return _RankState(plan=rp, q=q, qold=qold, res=res, adt=adt, rms=rms, loops=loops)
 
     # -- SPMD stepping ----------------------------------------------------------
 

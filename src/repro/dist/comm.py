@@ -4,13 +4,19 @@ Standard alpha-beta (Hockney) model: a message of ``n`` bytes between two
 nodes costs ``latency + n / bandwidth`` microseconds. Defaults approximate a
 commodity cluster interconnect of the paper's era (QDR InfiniBand-ish:
 ~1.5 us latency, ~3 GB/s effective per link).
+
+:func:`fit_comm_model` closes the loop with the measured procs mode: the
+per-message (bytes, seconds) records of the real pipe transport are
+least-squares fitted back onto the alpha-beta form, so simulated schedules
+can be re-costed with this host's actual wire behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.util.validate import check_positive
+from repro.util.validate import ValidationError, check_positive
 
 
 @dataclass(frozen=True)
@@ -39,3 +45,41 @@ class CommModel:
     def pack_cost(self, nbytes: int) -> float:
         """Endpoint CPU time to pack (or unpack) one message."""
         return self.pack_base + nbytes * self.pack_per_byte
+
+
+def fit_comm_model(
+    nbytes: Sequence[int], seconds: Sequence[float]
+) -> CommModel:
+    """Least-squares alpha-beta fit of measured per-message latencies.
+
+    ``nbytes[i]``/``seconds[i]`` describe one observed message (size, time
+    from send to completed receive). The fit is ``t_us = alpha + n / beta``;
+    pack costs keep their defaults (the measured time already includes the
+    endpoints, so a calibrated model is an upper envelope for the wire).
+
+    Degenerate inputs degrade gracefully: with fewer than two distinct
+    message sizes the slope is unidentifiable, so the mean observed time
+    becomes the latency and the default bandwidth is kept.
+    """
+    if len(nbytes) != len(seconds) or not nbytes:
+        raise ValidationError(
+            "need one (nbytes, seconds) pair per observed message"
+        )
+    import numpy as np
+
+    n = np.asarray(nbytes, dtype=np.float64)
+    t_us = np.asarray(seconds, dtype=np.float64) * 1e6
+    defaults = CommModel()
+    if len(np.unique(n)) < 2:
+        return CommModel(
+            latency=max(float(t_us.mean()), 1e-3),
+            bandwidth=defaults.bandwidth,
+        )
+    slope, intercept = np.polyfit(n, t_us, 1)
+    # A flat/negative slope means the sizes never left the latency floor;
+    # keep the default bandwidth rather than reporting an infinite wire.
+    bandwidth = 1.0 / slope if slope > 1e-12 else defaults.bandwidth
+    return CommModel(
+        latency=max(float(intercept), 1e-3),
+        bandwidth=float(bandwidth),
+    )

@@ -31,6 +31,11 @@ class HaloExchange:
         self.bytes_accumulated = 0
         self.update_count = 0
         self.accumulate_count = 0
+        #: point-to-point messages each primitive implied (one per
+        #: neighbor pair per call) — calibration compares these modeled
+        #: counts against what a real transport actually sent.
+        self.messages_updated = 0
+        self.messages_accumulated = 0
 
     def _check(self, arrays: list[np.ndarray]) -> None:
         if len(arrays) != self.plan.ranks:
@@ -53,6 +58,7 @@ class HaloExchange:
                 export_idx = self.plan.plans[r].exports[s]
                 arrays[s][import_idx] = arrays[r][export_idx]
                 self.bytes_updated += arrays[s][import_idx].nbytes
+                self.messages_updated += 1
         self.update_count += 1
 
     def accumulate(self, arrays: list[np.ndarray]) -> None:
@@ -63,8 +69,23 @@ class HaloExchange:
                 export_idx = self.plan.plans[r].exports[s]
                 arrays[r][export_idx] += arrays[s][import_idx]
                 self.bytes_accumulated += arrays[s][import_idx].nbytes
+                self.messages_accumulated += 1
                 arrays[s][import_idx] = 0.0
         self.accumulate_count += 1
+
+    def comm_counters(self) -> dict[str, int]:
+        """Message/byte counters in the shape ``op_timing_output`` reports.
+
+        The same keys are produced by the procs-mode transport
+        (:class:`repro.procs.transport.HaloTransport`), so modeled and
+        measured halo traffic line up column for column.
+        """
+        return {
+            "messages_updated": self.messages_updated,
+            "messages_accumulated": self.messages_accumulated,
+            "bytes_updated": self.bytes_updated,
+            "bytes_accumulated": self.bytes_accumulated,
+        }
 
     def message_sizes(self, dim: int, itemsize: int = 8) -> dict[tuple[int, int], int]:
         """Bytes per (sender, receiver) message for a dat of ``dim`` values."""

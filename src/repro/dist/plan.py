@@ -112,6 +112,11 @@ def build_dist_plan(mesh: AirfoilMesh, owner: np.ndarray) -> DistPlan:
     ranks = int(owner.max()) + 1
     if owner.min() < 0:
         raise ValidationError("owner ranks must be >= 0")
+    if ranks > mesh.cells.size:
+        raise ValidationError(
+            f"cannot distribute {mesh.cells.size} cells over {ranks} ranks: "
+            "every rank must own at least one cell"
+        )
 
     pecell = mesh.pecell.values
     pbecell = mesh.pbecell.values

@@ -8,7 +8,12 @@ CLI's ``--trace FILE`` and ``--timing`` flags; when disabled the hot path
 carries no recorder at all.
 """
 
-from repro.obs.chrome import export_obs_trace, obs_trace_events
+from repro.obs.chrome import (
+    export_obs_trace,
+    merge_rank_traces,
+    obs_trace_events,
+    write_rank_trace,
+)
 from repro.obs.recorder import ObsEvent, TraceRecorder
 from repro.obs.timing import KernelTiming, TimingSummary
 
@@ -18,5 +23,7 @@ __all__ = [
     "TimingSummary",
     "TraceRecorder",
     "export_obs_trace",
+    "merge_rank_traces",
     "obs_trace_events",
+    "write_rank_trace",
 ]

@@ -10,6 +10,7 @@ reduction folds, loop/color spans); each worker thread gets its own lane of
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -50,3 +51,79 @@ def export_obs_trace(
 ) -> int:
     """Write the measured trace to ``path``; returns the event count."""
     return write_trace(obs_trace_events(recorder, process_name), path)
+
+
+# -- per-rank traces (procs mode) ----------------------------------------------
+#
+# Each rank process records its own spans against a shared monotonic epoch
+# and dumps them as a plain JSON list before exiting; the parent merges the
+# per-rank files into one Chrome trace with one lane per rank. The split
+# exists because rank recorders live in different address spaces — there is
+# no shared TraceRecorder to export from.
+
+
+def write_rank_trace(recorder: "TraceRecorder", rank: int, path: str | Path) -> int:
+    """Dump one rank's recorded spans as a raw JSON list; returns the count.
+
+    The file is *not* a Chrome trace — it is the per-rank intermediate that
+    :func:`merge_rank_traces` consumes (span dicts with seconds-based
+    timestamps on the driver's shared epoch).
+    """
+    spans = [
+        {
+            "name": e.name,
+            "kind": e.kind,
+            "loop": e.loop,
+            "start": e.start,
+            "end": e.end,
+            "color": e.color,
+        }
+        for e in recorder.events
+    ]
+    Path(path).write_text(json.dumps({"rank": rank, "spans": spans}))
+    return len(spans)
+
+
+def merge_rank_traces(
+    rank_files: dict[int, str | Path] | list[str | Path],
+    path: str | Path,
+    process_name: str = "repro.procs",
+) -> int:
+    """Merge per-rank span files into one Chrome trace, one lane per rank.
+
+    Accepts either ``{rank: file}`` or a plain list of files (each file
+    names its own rank). Missing files are skipped — a rank that died
+    before writing its trace must not prevent the survivors' lanes from
+    rendering. Returns the total event count written.
+    """
+    if not isinstance(rank_files, dict):
+        rank_files = {i: p for i, p in enumerate(rank_files)}
+    per_rank: dict[int, list[dict]] = {}
+    for rank, file in sorted(rank_files.items()):
+        file = Path(file)
+        if not file.exists():
+            continue
+        payload = json.loads(file.read_text())
+        per_rank[int(payload.get("rank", rank))] = payload["spans"]
+    events = metadata_events(
+        process_name, {r: f"rank {r}" for r in sorted(per_rank)}
+    )
+    for rank, spans in sorted(per_rank.items()):
+        for s in spans:
+            events.append(
+                duration_event(
+                    s["name"],
+                    s["kind"],
+                    s["loop"],
+                    rank,
+                    s["start"] * 1e6,
+                    (s["end"] - s["start"]) * 1e6,
+                    args={
+                        "kind": s["kind"],
+                        "loop": s["loop"],
+                        "color": s.get("color", -1),
+                        "rank": rank,
+                    },
+                )
+            )
+    return write_trace(events, path)

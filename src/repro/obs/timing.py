@@ -75,6 +75,12 @@ class TimingSummary:
     #: Fork-join execution pays one per color class; dependency-scheduled
     #: execution pays one per application sync / finish.
     joins: int = 0
+    #: halo-traffic counters (procs mode / distributed runs): message and
+    #: byte counts per exchange primitive, in the shape of
+    #: :meth:`repro.dist.exchange.HaloExchange.comm_counters`. Empty for
+    #: single-process runs; rendered as an extra footer line otherwise so
+    #: transport calibration can compare modeled vs real message counts.
+    comm: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_tasks(self) -> int:
@@ -132,4 +138,13 @@ class TimingSummary:
             f"busy {self.worker_busy * 1e3:.3f} ms / idle {idle * 1e3:.3f} ms "
             f"({self.utilization():.1%} utilization)"
         )
-        return table.render() + "\n" + footer
+        out = table.render() + "\n" + footer
+        if self.comm:
+            out += (
+                "\nhalo: "
+                f"{self.comm.get('messages_updated', 0)} update msg / "
+                f"{self.comm.get('bytes_updated', 0) / 1024:.1f} KiB, "
+                f"{self.comm.get('messages_accumulated', 0)} accumulate msg / "
+                f"{self.comm.get('bytes_accumulated', 0) / 1024:.1f} KiB"
+            )
+        return out

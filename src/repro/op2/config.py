@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.op2.exceptions import Op2Error
 
 #: Valid execution modes.
-MODES = ("sim", "threads")
+MODES = ("sim", "threads", "procs")
 
 #: Default :class:`~repro.op2.runtime.LoopLog` bound for ``mode="threads"``.
 #: Threaded runs never replay their logs on the simulator, so keeping one
@@ -41,10 +41,14 @@ class RuntimeConfig:
     """How loops are physically executed.
 
     Attributes:
-        mode: ``"sim"`` (cooperative, deterministic, default) or ``"threads"``
-            (real ``ThreadPoolExecutor`` workers measuring wall-clock).
+        mode: ``"sim"`` (cooperative, deterministic, default), ``"threads"``
+            (real ``ThreadPoolExecutor`` workers measuring wall-clock), or
+            ``"procs"`` (rank-per-process SPMD execution with shared-memory
+            dats and pipe-based halo exchanges — driven through
+            :func:`repro.procs.run_procs`, not per-loop dispatch).
         num_workers: OS threads for ``mode="threads"``; ``None`` inherits the
             runtime's ``num_threads``.
+        num_ranks: OS processes for ``mode="procs"``; ``None`` elsewhere.
         trace: collect per-task/per-color/per-loop wall-clock events for
             Chrome-trace export (threads mode; implies per-kernel timing).
         timing: collect the per-kernel timing aggregates only (no event
@@ -56,6 +60,7 @@ class RuntimeConfig:
 
     mode: str = "sim"
     num_workers: int | None = None
+    num_ranks: int | None = None
     trace: bool = False
     timing: bool = False
     log_limit: int | None = None
@@ -69,6 +74,13 @@ class RuntimeConfig:
             raise Op2Error(
                 f"num_workers must be >= 1, got {self.num_workers}"
             )
+        if self.num_ranks is not None:
+            if self.mode != "procs":
+                raise Op2Error(
+                    f"num_ranks only applies to mode='procs', got mode={self.mode!r}"
+                )
+            if self.num_ranks < 1:
+                raise Op2Error(f"num_ranks must be >= 1, got {self.num_ranks}")
         if self.log_limit is not None and self.log_limit < 0:
             raise Op2Error(
                 f"log_limit must be >= 0 (0 disables), got {self.log_limit}"
@@ -77,6 +89,14 @@ class RuntimeConfig:
     @property
     def threaded(self) -> bool:
         return self.mode == "threads"
+
+    @property
+    def procs(self) -> bool:
+        return self.mode == "procs"
+
+    def resolve_ranks(self, default: int = 2) -> int:
+        """Rank-process count for ``mode='procs'`` (``None`` -> ``default``)."""
+        return int(self.num_ranks) if self.num_ranks is not None else int(default)
 
     @property
     def observing(self) -> bool:

@@ -145,6 +145,12 @@ class Op2Runtime:
 
     def par_loop(self, loop: ParLoop) -> Future | None:
         """Record and dispatch one loop; returns the backend's result."""
+        if self.config.procs:
+            raise Op2Error(
+                "mode='procs' executes whole applications across rank "
+                "processes (see repro.procs.run_procs); per-loop dispatch "
+                "through a session is not available in this mode"
+            )
         plan = self.plans.get(loop.set_, list(loop.args), self.block_size)
         loop_id = self._next_loop_id
         self._next_loop_id += 1
@@ -275,6 +281,7 @@ def op2_session(
     granularity: str = "set",
     mode: str = "sim",
     num_workers: int | None = None,
+    num_ranks: int | None = None,
     backend_options: dict | None = None,
     trace: bool = False,
     timing: bool = False,
@@ -304,6 +311,7 @@ def op2_session(
         config=RuntimeConfig(
             mode=mode,
             num_workers=num_workers,
+            num_ranks=num_ranks,
             trace=trace,
             timing=timing,
             log_limit=log_limit,

@@ -1,0 +1,257 @@
+"""The per-rank SPMD loop runner (runs inside each rank process).
+
+Every rank process rebuilds its kernels and loop objects locally (kernel
+closures do not pickle; the :class:`~repro.dist.plan.RankPlan` does), wires
+its dats over the shared-memory segments the parent created, and runs the
+Airfoil timestep with real halo messages in between. Two schedules over
+identical arithmetic:
+
+- ``blocking`` — the MPI+OpenMP baseline: whole loops, bulk-synchronous
+  exchanges (:meth:`~repro.procs.transport.HaloTransport.update_blocking`);
+- ``overlapped`` — the HPX-dataflow shape: ``adt_calc`` runs boundary-first
+  so the q/adt message posts early, interior ``res_calc`` and ``bres_calc``
+  execute under the in-flight wire, and only the exterior edges wait;
+  symmetrically the residual accumulation ships while the private (non
+  exported) cells update.
+
+The split subsets partition each loop's iteration space exactly, and the
+kernels/gather/scatter are byte-for-byte the single-rank machinery
+(:func:`repro.backends.base.execute_loop` with an ``elements`` subset), so
+both schedules assemble the same solution to rounding.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.airfoil.constants import FlowConstants
+from repro.airfoil.kernels import make_kernels
+from repro.backends.base import execute_loop
+from repro.dist.app import RankState, build_rank_state
+from repro.dist.plan import RankPlan
+from repro.obs.recorder import TraceRecorder
+from repro.obs.timing import KernelTiming
+from repro.op2 import OpGlobal
+from repro.procs.shm import AttachedRank, RankLayout
+from repro.procs.transport import HaloTransport, RankChannels
+from repro.util.validate import ValidationError
+
+#: Valid procs schedules.
+SCHEDULES = ("blocking", "overlapped")
+
+
+@dataclass(frozen=True)
+class RankSpec:
+    """Everything one rank process needs, shipped at spawn (picklable)."""
+
+    rank: int
+    plan: RankPlan
+    layout: RankLayout
+    constants: FlowConstants
+    niter: int
+    schedule: str
+    #: shared monotonic epoch: all rank recorders measure against the same
+    #: zero so the merged trace's lanes line up.
+    epoch: float
+    trace: bool = False
+    timing: bool = False
+    trace_path: str | None = None
+    #: fault injection (tests / chaos runs): raise at this iteration.
+    fail_at_iter: int | None = None
+
+
+@dataclass
+class RankReport:
+    """What a rank sends back to the driver when it finishes."""
+
+    rank: int
+    wall_seconds: float
+    rms: float
+    comm: dict[str, int] = field(default_factory=dict)
+    #: (nbytes, latency-seconds) per received message, for calibration.
+    message_log: list[tuple[int, float]] = field(default_factory=list)
+    #: per-kernel wall-clock aggregates (timing mode only).
+    kernels: dict[str, KernelTiming] = field(default_factory=dict)
+    trace_events: int = 0
+
+
+def split_boundary(rp: RankPlan) -> dict[str, np.ndarray]:
+    """Boundary/interior split of one rank's iteration spaces (local ids).
+
+    ``boundary_cells`` is the union of the export lists — exactly the owned
+    rows whose values must be computed before the halo update can post.
+    ``exterior_edges`` touch at least one halo cell and must wait for the
+    imports; ``interior_edges`` see only owned rows. The cell split doubles
+    as the update-loop split: remote residual contributions only ever land
+    on exported rows, so ``interior_cells`` can update while the
+    accumulation is still in flight.
+    """
+    if rp.exports:
+        boundary = np.unique(np.concatenate(list(rp.exports.values())))
+    else:
+        boundary = np.empty(0, dtype=np.int64)
+    interior = np.setdiff1d(
+        np.arange(rp.n_owned, dtype=np.int64), boundary, assume_unique=True
+    )
+    pecell = rp.pecell.values
+    exterior_mask = (pecell >= rp.n_owned).any(axis=1)
+    return {
+        "boundary_cells": boundary,
+        "interior_cells": interior,
+        "exterior_edges": np.flatnonzero(exterior_mask).astype(np.int64),
+        "interior_edges": np.flatnonzero(~exterior_mask).astype(np.int64),
+    }
+
+
+class RankRunner:
+    """One rank's timestep loop over its local state and transport."""
+
+    def __init__(
+        self,
+        spec: RankSpec,
+        state: RankState,
+        transport: HaloTransport,
+        recorder: TraceRecorder | None = None,
+    ) -> None:
+        if spec.schedule not in SCHEDULES:
+            raise ValidationError(
+                f"unknown schedule {spec.schedule!r}; use one of {SCHEDULES}"
+            )
+        self.spec = spec
+        self.state = state
+        self.transport = transport
+        self.rec = recorder
+        self.split = split_boundary(spec.plan)
+        self.iterations = 0
+
+    # -- instrumented primitives ---------------------------------------------
+
+    def _loop(self, name: str, elements: np.ndarray | None = None) -> None:
+        loop = self.state.loops[name]
+        if elements is not None and len(elements) == 0:
+            return
+        if self.rec is None:
+            execute_loop(loop, elements)
+            return
+        t0 = self.rec.now()
+        execute_loop(loop, elements)
+        end = self.rec.now()
+        label = name if elements is None else f"{name}.part"
+        self.rec.span(label, "loop", name, t0, end, busy=True)
+        self.rec.record_loop(name, end - t0, 1, 1)
+
+    def _comm(self, label: str, kind: str, fn, fields) -> None:
+        if self.rec is None:
+            fn(fields)
+            return
+        t0 = self.rec.now()
+        fn(fields)
+        self.rec.span(label, kind, "exchange", t0, self.rec.now())
+
+    # -- schedules -----------------------------------------------------------
+
+    def step_blocking(self) -> None:
+        s, t = self.state, self.transport
+        self._loop("save_soln")
+        for _ in range(2):
+            self._loop("adt_calc")
+            self._comm("halo.update", "wait", t.update_blocking, [s.q, s.adt])
+            self._loop("res_calc")
+            self._loop("bres_calc")
+            self._comm(
+                "halo.accumulate", "wait", t.accumulate_blocking, [s.res]
+            )
+            self._loop("update")
+
+    def step_overlapped(self) -> None:
+        s, t, sp = self.state, self.transport, self.split
+        self._loop("save_soln")
+        for _ in range(2):
+            # Boundary adt first: its rows feed the wire immediately.
+            self._loop("adt_calc", sp["boundary_cells"])
+            self._comm("halo.update.start", "release", t.update_start, [s.q, s.adt])
+            # Interior work proceeds under the in-flight messages.
+            self._loop("adt_calc", sp["interior_cells"])
+            self._loop("res_calc", sp["interior_edges"])
+            self._loop("bres_calc")
+            self._comm("halo.update.wait", "wait", t.update_wait, [s.q, s.adt])
+            self._loop("res_calc", sp["exterior_edges"])
+            # Residuals ship while the private cells update.
+            self._comm(
+                "halo.accumulate.start", "release", t.accumulate_start, [s.res]
+            )
+            self._loop("update", sp["interior_cells"])
+            self._comm(
+                "halo.accumulate.wait", "wait", t.accumulate_wait, [s.res]
+            )
+            self._loop("update", sp["boundary_cells"])
+
+    def run(self) -> None:
+        step = (
+            self.step_blocking
+            if self.spec.schedule == "blocking"
+            else self.step_overlapped
+        )
+        for i in range(self.spec.niter):
+            if self.spec.fail_at_iter is not None and i == self.spec.fail_at_iter:
+                raise RuntimeError(
+                    f"injected failure on rank {self.spec.rank} at iteration {i}"
+                )
+            step()
+            self.iterations += 1
+
+
+def worker_main(spec: RankSpec, channels: RankChannels, barrier, results) -> None:
+    """Rank-process entry point: attach, build, synchronize, run, report.
+
+    Any exception — including the injected test failures — is caught,
+    formatted, and shipped to the driver as an ``("error", rank, tb)``
+    message before the process exits nonzero; the driver cancels the peers
+    and re-raises with this traceback embedded.
+    """
+    attached: AttachedRank | None = None
+    try:
+        attached = AttachedRank(spec.layout)
+        kernels = make_kernels(spec.constants)
+        freestream = spec.constants.freestream()
+        g_qinf = OpGlobal("qinf", 4, freestream)
+        state = build_rank_state(
+            spec.plan, kernels, g_qinf, freestream, arrays=attached.arrays
+        )
+        transport = HaloTransport(
+            spec.rank, spec.plan.exports, spec.plan.imports, channels
+        )
+        rec: TraceRecorder | None = None
+        if spec.trace or spec.timing:
+            rec = TraceRecorder(events=spec.trace)
+            rec.epoch = spec.epoch
+        runner = RankRunner(spec, state, transport, rec)
+        barrier.wait()
+        t0 = perf_counter()
+        runner.run()
+        wall = perf_counter() - t0
+        trace_events = 0
+        if spec.trace_path is not None and rec is not None and rec.collect_events:
+            from repro.obs.chrome import write_rank_trace
+
+            trace_events = write_rank_trace(rec, spec.rank, spec.trace_path)
+        report = RankReport(
+            rank=spec.rank,
+            wall_seconds=wall,
+            rms=float(state.rms.value()),
+            comm=transport.comm_counters(),
+            message_log=transport.message_log(),
+            kernels=dict(rec.kernels) if rec is not None else {},
+            trace_events=trace_events,
+        )
+        results.put(("done", spec.rank, report))
+    except BaseException:
+        results.put(("error", spec.rank, traceback.format_exc()))
+        raise SystemExit(1)
+    finally:
+        if attached is not None:
+            attached.close()

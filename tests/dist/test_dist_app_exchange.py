@@ -110,7 +110,8 @@ class TestDistAirfoil:
         ref.run(3)
         return ref
 
-    @pytest.mark.parametrize("ranks,partitioner", [(2, "band"), (3, "rcb"), (5, "rcb")])
+    @pytest.mark.parametrize("ranks", [2, 3, 5])
+    @pytest.mark.parametrize("partitioner", ["band", "rcb"])
     def test_matches_single_rank_solver(self, mesh, reference, ranks, partitioner):
         dist = DistAirfoil(mesh, ranks, partitioner=partitioner)
         out = dist.run(3)
@@ -132,6 +133,31 @@ class TestDistAirfoil:
         assert dist.exchange.update_count == 4
         assert dist.exchange.accumulate_count == 2
 
+    def test_exchange_message_counters(self, mesh):
+        dist = DistAirfoil(mesh, 4)
+        # One message per directed owner->holder pair per exchange call.
+        pairs = sum(len(p.imports) for p in dist.dplan.plans)
+        dist.run(1)
+        assert dist.exchange.messages_updated == 4 * pairs
+        assert dist.exchange.messages_accumulated == 2 * pairs
+        counters = dist.exchange.comm_counters()
+        assert counters["messages_updated"] == dist.exchange.messages_updated
+        assert counters["messages_accumulated"] == dist.exchange.messages_accumulated
+        assert counters["bytes_updated"] == dist.exchange.bytes_updated
+        assert counters["bytes_accumulated"] == dist.exchange.bytes_accumulated
+
+    def test_comm_counters_render_in_timing_summary(self, mesh):
+        from repro.obs.timing import TimingSummary
+
+        dist = DistAirfoil(mesh, 2)
+        dist.run(1)
+        summary = TimingSummary(
+            kernels={}, wall=0.0, comm=dist.exchange.comm_counters()
+        )
+        out = summary.render()
+        assert "halo:" in out
+        assert "update msg" in out and "accumulate msg" in out
+
     def test_unknown_partitioner_rejected(self, mesh):
         with pytest.raises(ValidationError):
             DistAirfoil(mesh, 2, partitioner="metis")
@@ -140,3 +166,13 @@ class TestDistAirfoil:
         dist = DistAirfoil(mesh, 1)
         dist.run(3)
         assert max_rel_diff(dist.gather_q(), reference.q) < 1e-12
+
+    def test_more_ranks_than_cells_rejected(self, mesh):
+        # A sparse owner labelling implies more ranks than cells exist.
+        owner = np.zeros(mesh.cells.size, dtype=np.int64)
+        owner[0] = mesh.cells.size  # rank ids 0..ncells -> ncells+1 ranks
+        with pytest.raises(ValidationError, match="every rank must own"):
+            build_dist_plan(mesh, owner)
+        # The partitioners guard the same invariant at their own layer.
+        with pytest.raises(ValidationError):
+            band_partition(mesh.cells.size, mesh.cells.size + 1)

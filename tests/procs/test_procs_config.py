@@ -1,0 +1,70 @@
+"""Tests for the ``mode="procs"`` runtime-config integration."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import (
+    OP_ID,
+    OP_READ,
+    OP_WRITE,
+    Kernel,
+    OpDat,
+    OpSet,
+    op_arg_dat,
+    op2_session,
+)
+from repro.op2.config import MODES, RuntimeConfig
+from repro.op2.exceptions import Op2Error
+from repro.op2.parloop import ParLoop
+
+
+class TestRuntimeConfig:
+    def test_procs_mode_registered(self):
+        assert "procs" in MODES
+
+    def test_procs_flags(self):
+        cfg = RuntimeConfig(mode="procs", num_ranks=4)
+        assert cfg.procs
+        assert not cfg.threaded
+        assert cfg.resolve_ranks() == 4
+
+    def test_resolve_ranks_default(self):
+        assert RuntimeConfig(mode="procs").resolve_ranks(3) == 3
+
+    def test_num_ranks_requires_procs_mode(self):
+        with pytest.raises(Op2Error, match="num_ranks"):
+            RuntimeConfig(mode="sim", num_ranks=2)
+        with pytest.raises(Op2Error, match="num_ranks"):
+            RuntimeConfig(mode="threads", num_ranks=2)
+
+    def test_num_ranks_must_be_positive(self):
+        with pytest.raises(Op2Error, match="num_ranks"):
+            RuntimeConfig(mode="procs", num_ranks=0)
+
+
+class TestSessionIntegration:
+    def test_session_accepts_procs_mode(self):
+        with op2_session(mode="procs", num_ranks=2) as rt:
+            assert rt.config.procs
+            assert rt.config.resolve_ranks() == 2
+
+    def test_par_loop_rejected_in_procs_mode(self):
+        cells = OpSet("cells", 4)
+        q = OpDat("q", cells, 1, np.zeros((4, 1)))
+        out = OpDat("out", cells, 1)
+
+        def k(src, dst):
+            dst[0] = src[0]
+
+        loop = ParLoop(
+            Kernel("copy", k),
+            "copy",
+            cells,
+            (
+                op_arg_dat(q, -1, OP_ID, OP_READ),
+                op_arg_dat(out, -1, OP_ID, OP_WRITE),
+            ),
+        )
+        with op2_session(mode="procs", num_ranks=2) as rt:
+            with pytest.raises(Op2Error, match="run_procs"):
+                rt.par_loop(loop)

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.airfoil import ReferenceAirfoil, generate_mesh
 from repro.airfoil.validation import max_rel_diff
-from repro.dist.app import DistAirfoil
+from repro.dist.app import DistAirfoil, build_rank_state
 from repro.dist.exchange import HaloExchange
 from repro.dist.partition import rcb_partition
 from repro.dist.plan import build_dist_plan
@@ -56,7 +56,10 @@ def test_any_partition_matches_reference(mesh, reference, owner):
     dist.kernels = make_kernels(DEFAULT_CONSTANTS)
     freestream = DEFAULT_CONSTANTS.freestream()
     dist.g_qinf = OpGlobal("qinf", 4, freestream)
-    dist.states = [dist._build_rank(rp, freestream) for rp in dist.dplan.plans]
+    dist.states = [
+        build_rank_state(rp, dist.kernels, dist.g_qinf, freestream)
+        for rp in dist.dplan.plans
+    ]
     dist.iterations = 0
 
     dist.run(2)
