@@ -9,7 +9,6 @@ the classic grain-size trade-off of Grubel et al. (paper ref [6]).
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG
-from repro.backends.costs import LoopCostModel
 from repro.backends.foreach import ForEachBackend
 from repro.experiments.runner import run_backend
 from repro.sim.engine import SimulationEngine

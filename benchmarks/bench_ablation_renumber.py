@@ -24,7 +24,7 @@ _results: dict[str, dict[str, float]] = {}
 def _shuffled(mesh):
     """A deliberately bad numbering: random cell permutation."""
     from repro.airfoil.meshgen import AirfoilMesh
-    from repro.op2 import OpDat, OpMap, OpSet
+    from repro.op2 import OpMap, OpSet
 
     rng = np.random.default_rng(42)
     ncells = mesh.cells.size

@@ -5,7 +5,6 @@ engine's event throughput, plan construction, block-dependence refinement,
 the cooperative executor, and the futures/dataflow layer.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import PAPER_CONFIG

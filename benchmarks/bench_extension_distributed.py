@@ -101,7 +101,7 @@ def _print_table():
 
 
 def test_extension_distributed_procs_wallclock(
-    dist_mesh, bench_ranks, bench_trace_dir
+    dist_mesh, bench_ranks, bench_threads_per_rank, bench_trace_dir
 ):
     """Measured E1: real rank processes, blocking vs overlapped exchanges.
 
@@ -113,6 +113,7 @@ def test_extension_distributed_procs_wallclock(
 
     niter = 2
     repeats = 2
+    tpr = bench_threads_per_rank
     ref = ReferenceAirfoil(dist_mesh)
     ref.run(niter)
     work = dist_mesh.cells.size * niter
@@ -123,7 +124,7 @@ def test_extension_distributed_procs_wallclock(
             best = float("inf")
             for rep in range(repeats):
                 trace_dir = (
-                    bench_trace_dir / f"procs-{ranks}r-{schedule}"
+                    bench_trace_dir / f"procs-{ranks}r{tpr}t-{schedule}"
                     if bench_trace_dir is not None and rep == repeats - 1
                     else None
                 )
@@ -133,6 +134,7 @@ def test_extension_distributed_procs_wallclock(
                         ranks=ranks,
                         niter=niter,
                         schedule=schedule,
+                        threads_per_rank=tpr,
                         trace_dir=trace_dir,
                     ),
                 )
@@ -172,16 +174,78 @@ def test_extension_distributed_procs_wallclock(
         )
     print(
         f"\n== E1 measured: procs-mode Airfoil, blocking vs overlapped "
-        f"({available_cores()} usable core(s)) =="
+        f"({tpr} thread(s)/rank, {available_cores()} usable core(s)) =="
     )
     print(table.render())
     for ranks in bench_ranks:
-        if scaling_assertion_active(ranks):
+        if scaling_assertion_active(ranks * tpr):
             tb, to = wall_ms[(ranks, "blocking")], wall_ms[(ranks, "overlapped")]
             assert to <= tb, (
                 f"overlapped schedule slower than blocking at R={ranks}: "
                 f"{to:.1f} ms vs {tb:.1f} ms"
             )
+
+
+def test_extension_hybrid_budget_procs_wallclock(dist_mesh, bench_trace_dir):
+    """Measured E1 hybrid: fixed core budget, varying the ranks/threads split.
+
+    The classic MPI+OpenMP trade-off on one host: a 4-core budget spent as
+    4 ranks x 1 thread (pure process parallelism), 2 x 2 (hybrid), or
+    1 x 4 (pure shared memory). Every layout must validate against the
+    single-rank solver; the table shows where the blocking-vs-overlapped
+    gap lives — more ranks means more halo traffic for overlap to hide,
+    fewer ranks shifts the weight onto the in-process executors.
+    """
+    from repro.procs import ProcsConfig, leaked_segments, run_procs
+
+    niter = 2
+    repeats = 2
+    layouts = [(4, 1), (2, 2), (1, 4)]
+    ref = ReferenceAirfoil(dist_mesh)
+    ref.run(niter)
+    wall_ms: dict[tuple[int, int, str], float] = {}
+    for ranks, tpr in layouts:
+        for schedule in ("blocking", "overlapped"):
+            best = float("inf")
+            for rep in range(repeats):
+                trace_dir = (
+                    bench_trace_dir / f"hybrid-{ranks}x{tpr}-{schedule}"
+                    if bench_trace_dir is not None and rep == repeats - 1
+                    else None
+                )
+                res = run_procs(
+                    dist_mesh,
+                    ProcsConfig(
+                        ranks=ranks,
+                        niter=niter,
+                        schedule=schedule,
+                        threads_per_rank=tpr,
+                        trace_dir=trace_dir,
+                    ),
+                )
+                err = float(np.abs(res.q - ref.q).max())
+                assert err <= 1e-12, (
+                    f"{schedule} {ranks}x{tpr}: diverged from reference "
+                    f"({err:.3e})"
+                )
+                assert leaked_segments(res.shm_names) == []
+                best = min(best, res.wall_seconds)
+            wall_ms[(ranks, tpr, schedule)] = best * 1e3
+
+    table = Table(
+        ["layout", "blocking ms", "overlapped ms", "overlap gap"]
+    )
+    for ranks, tpr in layouts:
+        tb = wall_ms[(ranks, tpr, "blocking")]
+        to = wall_ms[(ranks, tpr, "overlapped")]
+        table.add_row(
+            [f"{ranks} ranks x {tpr} thr", tb, to, f"{tb / to - 1.0:+.1%}"]
+        )
+    print(
+        f"\n== E1 measured hybrid: fixed 4-core budget, ranks x threads "
+        f"({available_cores()} usable core(s)) =="
+    )
+    print(table.render())
 
 
 if __name__ == "__main__":

@@ -137,33 +137,35 @@ def test_fig19_threads_wallclock(bench_workers, bench_trace_dir):
         print(report)
 
 
-def test_fig19_procs_wallclock(bench_ranks, bench_trace_dir):
+def test_fig19_procs_wallclock(bench_ranks, bench_threads_per_rank, bench_trace_dir):
     """Measured weak scaling over real rank *processes* (procs mode).
 
-    The mesh grows with the rank count (constant cells per rank), mirroring
-    the threads-mode weak-scaling variant but with actual address-space
-    separation and pipe halo exchanges. Efficiency is T(min ranks)/T(R);
-    multi-core hosts should hold it near 1.0, a 1-core host cannot.
+    The mesh grows with the total core budget ``ranks * threads_per_rank``
+    (constant cells per core), mirroring the threads-mode weak-scaling
+    variant but with actual address-space separation and pipe halo
+    exchanges. Efficiency is T(min ranks)/T(R); multi-core hosts should
+    hold it near 1.0, a 1-core host cannot.
     """
     from repro.procs import ProcsConfig, run_procs
 
     niter = 2
+    tpr = bench_threads_per_rank
     base = min(bench_ranks)
     wall: dict[tuple[int, str], float] = {}
     meshes = {}
     for ranks in bench_ranks:
-        ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, ranks)
+        ni, nj = scaled_mesh_dims(WEAK_CONFIG.ni, WEAK_CONFIG.nj, ranks * tpr)
         meshes[ranks] = generate_mesh(ni=ni, nj=nj)
         for schedule in ("blocking", "overlapped"):
             trace_dir = (
-                bench_trace_dir / f"fig19-procs-{ranks}r-{schedule}"
+                bench_trace_dir / f"fig19-procs-{ranks}r{tpr}t-{schedule}"
                 if bench_trace_dir is not None
                 else None
             )
             res = run_procs(
                 meshes[ranks],
                 ProcsConfig(ranks=ranks, niter=niter, schedule=schedule,
-                            trace_dir=trace_dir),
+                            threads_per_rank=tpr, trace_dir=trace_dir),
             )
             wall[(ranks, schedule)] = res.wall_seconds * 1e3
             assert res.wall_seconds > 0.0
@@ -185,7 +187,8 @@ def test_fig19_procs_wallclock(bench_ranks, bench_trace_dir):
         )
     print(
         f"\n== fig19 measured: weak scaling over rank processes "
-        f"(problem ∝ ranks; {available_cores()} usable core(s)) =="
+        f"({tpr} thread(s)/rank, problem ∝ ranks*threads; "
+        f"{available_cores()} usable core(s)) =="
     )
     print(table.render())
 

@@ -57,6 +57,13 @@ def pytest_addoption(parser):
         help="comma-separated rank counts for --mode procs (default: 2)",
     )
     group.addoption(
+        "--threads-per-rank",
+        action="store",
+        default="1",
+        help="pool threads inside each rank process for --mode procs "
+        "(default: 1; the hybrid MPI+OpenMP analogue)",
+    )
+    group.addoption(
         "--trace-dir",
         action="store",
         default=None,
@@ -120,6 +127,14 @@ def bench_ranks(request) -> tuple[int, ...]:
     if not ranks:
         raise pytest.UsageError("--ranks must name at least one rank count")
     return ranks
+
+
+@pytest.fixture(scope="session")
+def bench_threads_per_rank(request) -> int:
+    tpr = int(request.config.getoption("--threads-per-rank"))
+    if tpr < 1:
+        raise pytest.UsageError("--threads-per-rank must be >= 1")
+    return tpr
 
 #: Calibrated scale: the mesh where the machine model reproduces the paper's
 #: 5% / 21% gains (see DESIGN.md §5 and EXPERIMENTS.md).

@@ -9,14 +9,17 @@ One solver iteration is::
         bres_calc                   # boundary fluxes -> res
         update                      # q <- qold - res/adt, res <- 0, rms +=
 
-Three driver variants mirror the paper:
+The iteration itself lives in :func:`repro.engine.airfoil.airfoil_timestep`
+— the one canonical loop-program definition — and this driver *walks* it.
+Three walk variants mirror the paper:
 
 - **sync** (seq / openmp / foreach backends): plain program order — every
   loop completes before the next starts (Fig 4);
-- **async**: loops return futures; ``rt.sync(...)`` calls mark the
-  programmer-placed ``new_data.get()`` points of Fig 10 (with the extra
-  save_soln sync the data dependence on ``qold`` requires — the manual
-  placement hazard the paper itself points out);
+- **async**: loops return futures; the ``rt.sync(...)`` points are derived
+  from the program's footprint conflicts (with increments commuting), which
+  lands them exactly where Fig 10's ``new_data.get()`` calls go — including
+  the extra save_soln sync the ``qold`` dependence of update requires, the
+  manual-placement hazard the paper itself points out;
 - **dataflow**: no syncs at all; the modified OP2 API orders loops by their
   actual data dependencies, across timestep boundaries (Fig 14).
 """
@@ -30,6 +33,8 @@ import numpy as np
 from repro.airfoil.constants import DEFAULT_CONSTANTS, FlowConstants
 from repro.airfoil.kernels import make_kernels
 from repro.airfoil.meshgen import AirfoilMesh
+from repro.engine import INNER_ITERS, airfoil_timestep
+from repro.engine.program import LoopStep, steps_conflict
 from repro.op2 import (
     OP_ID,
     OP_INC,
@@ -44,8 +49,7 @@ from repro.op2 import (
     op_par_loop,
 )
 
-#: Inner iterations per timestep (the original Airfoil uses an RK2 scheme).
-INNER_ITERS = 2
+__all__ = ["AirfoilApp", "AirfoilResult", "INNER_ITERS"]
 
 
 @dataclass
@@ -82,6 +86,12 @@ class AirfoilApp:
         self.p_adt = OpDat("adt", mesh.cells, 1)
         self.g_rms = OpGlobal("rms", 1)
         self.g_qinf = OpGlobal("qinf", 4, freestream)
+
+        #: the canonical timestep; all three walk variants consume it.
+        self.program = airfoil_timestep()
+        #: loops fired but not yet synced, for the async walk: the sync
+        #: points are derived, not hand-placed.
+        self._pending: list[tuple[LoopStep, object]] = []
 
     # -- the five loops -------------------------------------------------------
 
@@ -148,41 +158,39 @@ class AirfoilApp:
             op_arg_gbl(self.g_rms, OP_INC),
         )
 
-    # -- driver variants ------------------------------------------------------
+    # -- program walks --------------------------------------------------------
+
+    def _fire(self, step: LoopStep):
+        """Launch one program step through its ``op_par_loop``."""
+        return getattr(self, f"loop_{step.name}")()
 
     def _step_sync(self, rt: Op2Runtime) -> None:
-        self.loop_save_soln()
-        for _ in range(INNER_ITERS):
-            self.loop_adt_calc()
-            self.loop_res_calc()
-            self.loop_bres_calc()
-            self.loop_update()
+        for step in self.program:
+            self._fire(step)
 
     def _step_async(self, rt: Op2Runtime) -> None:
-        # Paper Fig 10 sync placement, plus the save_soln sync that the
-        # qold dependence of update requires.
-        f_save = self.loop_save_soln()
-        for k in range(INNER_ITERS):
-            f_adt = self.loop_adt_calc()
-            rt.sync(f_adt)  # res/bres read adt
-            f_res = self.loop_res_calc()
-            f_bres = self.loop_bres_calc()
-            rt.sync(f_res, f_bres)  # update consumes res
-            if k == 0:
-                rt.sync(f_save)  # update reads qold
-            f_update = self.loop_update()
-            rt.sync(f_update)  # next adt_calc reads the new q
-        del f_update
+        # Before each launch, sync exactly the pending futures whose steps
+        # conflict with it (increments commute: res_calc and bres_calc fly
+        # together). On this program that derivation reproduces Fig 10's
+        # hand placement: adt before res/bres, {save, res, bres} before
+        # update, update before the next adt — carried across timestep
+        # boundaries by the pending list.
+        for step in self.program:
+            due = [
+                (s, f)
+                for s, f in self._pending
+                if steps_conflict(s, step, commute_incs=True)
+            ]
+            if due:
+                rt.sync(*(f for _, f in due))
+                self._pending = [p for p in self._pending if p not in due]
+            self._pending.append((step, self._fire(step)))
 
     def _step_dataflow(self, rt: Op2Runtime) -> None:
         # No synchronization anywhere: the modified API tracks dependencies
         # automatically, including across timestep boundaries.
-        self.loop_save_soln()
-        for _ in range(INNER_ITERS):
-            self.loop_adt_calc()
-            self.loop_res_calc()
-            self.loop_bres_calc()
-            self.loop_update()
+        for step in self.program:
+            self._fire(step)
 
     def run(self, rt: Op2Runtime, niter: int) -> AirfoilResult:
         """Run ``niter`` timesteps on the given runtime's backend."""
@@ -203,6 +211,7 @@ class AirfoilApp:
                 # classic convergence trace without forcing async syncs.
                 history.append(float(self.g_rms.value()))
         rt.finish()
+        self._pending.clear()
         return AirfoilResult(
             iterations=niter,
             rms_total=float(self.g_rms.value()),

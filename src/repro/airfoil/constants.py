@@ -7,7 +7,7 @@ Matches the constants of the original OP2 Airfoil demo: ideal gas with
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

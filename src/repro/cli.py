@@ -259,6 +259,7 @@ def _cmd_dist_procs(args: argparse.Namespace) -> int:
     table = Table(
         ["schedule", "wall ms", "cells*iters/s", "max |q-q_ref|", "halo KiB"]
     )
+    layout = f"{args.ranks} ranks x {args.threads_per_rank} thread(s)/rank"
     status = 0
     last = None
     for schedule in schedules:
@@ -271,6 +272,7 @@ def _cmd_dist_procs(args: argparse.Namespace) -> int:
                 ranks=args.ranks,
                 niter=args.iters,
                 schedule=schedule,
+                threads_per_rank=args.threads_per_rank,
                 partitioner=args.partitioner,
                 spawn_method=args.spawn_method,
                 trace_dir=trace_dir,
@@ -289,11 +291,11 @@ def _cmd_dist_procs(args: argparse.Namespace) -> int:
         if err > 1e-12:
             status = 1
         if args.timing:
-            print(f"== per-kernel timing ({schedule}, {args.ranks} ranks) ==")
+            print(f"== per-kernel timing ({schedule}, {layout}) ==")
             print(res.timing_summary().render())
         if res.trace_path is not None:
             print(f"trace: merged per-rank lanes into {res.trace_path}")
-    print(f"procs: {args.ranks} ranks x {args.iters} iters on {mesh.summary()}")
+    print(f"procs: {layout} x {args.iters} iters on {mesh.summary()}")
     print(table.render())
     if last is not None and last.fitted_comm is not None:
         fc = last.fitted_comm
@@ -389,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--schedule", default="both", choices=["blocking", "overlapped", "both"],
         help="halo-exchange schedule(s) to run in --mode procs",
+    )
+    p.add_argument(
+        "--threads-per-rank", type=int, default=1, metavar="T",
+        help="pool threads inside each rank process (hybrid MPI+OpenMP "
+        "analogue; blocking = fork-join, overlapped = dependency-scheduled)",
     )
     p.add_argument(
         "--spawn-method", default=None, choices=["fork", "spawn", "forkserver"],

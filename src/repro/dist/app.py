@@ -27,6 +27,8 @@ from repro.airfoil.kernels import make_kernels
 from repro.airfoil.meshgen import AirfoilMesh
 from repro.backends.base import execute_loop
 from repro.dist.exchange import HaloExchange
+from repro.engine import airfoil_timestep
+from repro.engine.program import ExchangeStep
 from repro.dist.partition import band_partition, cell_centroids, rcb_partition
 from repro.dist.plan import DistPlan, RankPlan, build_dist_plan
 from repro.op2 import (
@@ -187,6 +189,11 @@ def build_rank_state(
 class DistAirfoil:
     """The Airfoil solver over ``ranks`` partitions."""
 
+    #: the canonical timestep in its bulk-synchronous shape; stepping walks
+    #: it rather than hand-coding the loop/exchange order. Class-level: the
+    #: program is frozen data, identical for every instance.
+    program = airfoil_timestep(dist=True)
+
     def __init__(
         self,
         mesh: AirfoilMesh,
@@ -215,16 +222,20 @@ class DistAirfoil:
             execute_loop(state.loops[loop_name])
 
     def step(self) -> None:
-        """One timestep: five loops per rank + the three halo exchanges."""
-        self._all("save_soln")
-        for _ in range(2):
-            self._all("adt_calc")
-            self.exchange.update([s.q for s in self.states])
-            self.exchange.update([s.adt for s in self.states])
-            self._all("res_calc")
-            self._all("bres_calc")
-            self.exchange.accumulate([s.res for s in self.states])
-            self._all("update")
+        """One timestep: walk the blocking program across all ranks.
+
+        Loop steps run on every rank; a blocking exchange step moves one
+        field at a time through :class:`HaloExchange` (``update`` ships
+        halo copies owner->holder, ``accumulate`` returns halo increments
+        holder->owner).
+        """
+        for pstep in self.program:
+            if isinstance(pstep, ExchangeStep):
+                op = getattr(self.exchange, pstep.op)
+                for name in pstep.fields:
+                    op([getattr(s, name) for s in self.states])
+            else:
+                self._all(pstep.name)
         self.iterations += 1
 
     def run(self, niter: int) -> dict[str, float]:

@@ -1,17 +1,23 @@
 """Task-graph emission for distributed Airfoil schedules.
 
-Two schedules over the same work and the same messages:
+Both schedules are *walks of the canonical timestep program*
+(:func:`repro.engine.airfoil.airfoil_timestep`) — the emitter holds no
+loop order or split of its own, only the translation of program steps into
+simulated per-rank work parts and wire messages:
 
-- **blocking** (the MPI+OpenMP baseline): each loop is a node-local
-  fork-join (split across the node's threads + node barrier); halo
-  exchanges happen in bulk-synchronous phases (every rank packs, the wire
-  carries, every rank unpacks, then a global gate — MPI_Waitall + barrier
-  semantics) before the next loop starts anywhere.
-- **overlapped** (the HPX dataflow style): each rank's loops split into a
-  *boundary* part (cells/edges adjacent to partition cuts) and an *interior*
-  part. Boundary `adt_calc` runs first so packs/sends start early; interior
-  compute proceeds under the wire; only the exterior edges of `res_calc`
-  wait for imports. Exactly the communication/computation overlap the paper
+- **blocking** (the MPI+OpenMP baseline) walks the bulk-synchronous
+  program: each loop step is a node-local fork-join (split across the
+  node's threads + node barrier) followed by a global gate; a blocking
+  exchange step becomes every rank's pack -> wire -> unpack plus a global
+  gate — MPI_Waitall + barrier semantics — before the next step starts
+  anywhere.
+- **overlapped** (the HPX dataflow style) walks the overlapped program
+  unrolled over all timesteps: each rank's parts depend only on the parts
+  of the program's derived predecessor steps (increments commuting, as the
+  future-based runtime orders them), exchange starts become messages whose
+  unpacks gate only the steps that read halo data. Boundary ``adt_calc``
+  feeds the wire early, interior compute proceeds under it, and only the
+  exterior edges wait — the communication/computation overlap the paper
   credits HPX's futures for (§V: "seamless overlap of communication with
   computation").
 
@@ -33,9 +39,14 @@ from repro.airfoil.kernels import make_kernels
 from repro.airfoil.constants import DEFAULT_CONSTANTS
 from repro.dist.comm import CommModel
 from repro.dist.plan import DistPlan
+from repro.engine import airfoil_timestep
+from repro.engine.program import ExchangeStep, LoopStep
 from repro.sim.barriers import barrier_cost
 from repro.sim.machine import MachineConfig
 from repro.sim.task import TaskGraph
+
+#: float64 components per exchanged row, per dat field.
+FIELD_DIMS = {"q": 4, "adt": 1, "res": 4}
 
 
 @dataclass(frozen=True)
@@ -83,15 +94,17 @@ def _decompose(dplan: DistPlan, mesh) -> list[_RankWork]:
     owner = dplan.owner
     pecell = mesh.pecell.values
     cut = owner[pecell[:, 0]] != owner[pecell[:, 1]]
+    # Boundary cells: owned endpoints of *any* cut edge. This equals the
+    # measured runtime's split (exported rows plus the owned endpoints of
+    # the rank's own exterior edges): every cut edge is owned by one of its
+    # two sides, so collecting endpoints globally covers both sources.
+    all_cut_endpoints = np.unique(pecell[cut].ravel())
     works: list[_RankWork] = []
     for rp in dplan.plans:
         my_cut = cut[rp.edges]
         exterior = int(np.sum(my_cut))
         interior = len(rp.edges) - exterior
-        # Boundary cells: owned endpoints of cut edges (superset of exports).
-        cut_edges = rp.edges[my_cut]
-        endpoints = np.unique(pecell[cut_edges].ravel())
-        boundary = int(np.sum(owner[endpoints] == rp.rank))
+        boundary = int(np.sum(owner[all_cut_endpoints] == rp.rank))
         out_bytes = {
             s: len(idx) * 8 for s, idx in rp.exports.items()
         }  # per dim-1 float64 row; scaled by dim at use sites
@@ -205,137 +218,146 @@ def emit_distributed(
     raise ValueError(f"unknown schedule {schedule!r}; use 'blocking' or 'overlapped'")
 
 
+_SHORT = {
+    "save_soln": "save",
+    "adt_calc": "adt",
+    "res_calc": "res",
+    "bres_calc": "bres",
+    "update": "update",
+}
+
+_SUBSET_TAG = {
+    None: "",
+    "boundary_cells": "_b",
+    "interior_cells": "_i",
+    "interior_edges": "_i",
+    "exterior_edges": "_x",
+}
+
+
+def _count(step: LoopStep, w: _RankWork) -> int:
+    """Elements one rank iterates for a program loop step."""
+    if step.name == "bres_calc":
+        return w.bedges
+    if step.name == "res_calc":
+        if step.subset == "interior_edges":
+            return w.interior_edges
+        if step.subset == "exterior_edges":
+            return w.exterior_edges
+        return w.interior_edges + w.exterior_edges
+    if step.subset == "boundary_cells":
+        return w.boundary_cells
+    if step.subset == "interior_cells":
+        return w.interior_cells
+    return w.boundary_cells + w.interior_cells
+
+
+def _msg_dim(step: ExchangeStep) -> int:
+    """float64 components per exchanged row (fields pack into one message)."""
+    return sum(FIELD_DIMS[f] for f in step.fields)
+
+
+def _part_name(step: LoopStep, tag: str) -> str:
+    return f"{_SHORT[step.name]}{_SUBSET_TAG[step.subset]}[{tag}]"
+
+
 def _emit_blocking(e: _Emitter) -> TaskGraph:
-    cfg = e.config
+    """Walk the bulk-synchronous program with a rolling global gate."""
+    program = airfoil_timestep(dist=True)
     gate: int | None = None
-    for it in range(cfg.niter):
-        # save_soln: node-local fork-join everywhere.
-        tails = []
-        for r, w in enumerate(e.works):
-            cost = (w.boundary_cells + w.interior_cells) * e.unit("save_soln")
-            tasks = e.part(f"save[{it}]", r, cost, [gate] if gate is not None else [], "save_soln")
-            tails.append(e.node_barrier(f"save.bar[{it}].n{r}", r, tasks))
-        gate = e.global_gate(f"save.gate[{it}]", tails)
-
-        for k in range(2):
-            tag = f"{it}.{k}"
-            # adt_calc.
+    for it in range(e.config.niter):
+        for i, step in enumerate(program.steps):
+            tag = f"{it}.{i}"
+            deps = [gate] if gate is not None else []
+            if isinstance(step, ExchangeStep):
+                dim = _msg_dim(step)
+                unpacks = []
+                for r, w in enumerate(e.works):
+                    for s, rows in w.out_bytes.items():
+                        # update ships owner -> holder; accumulate returns
+                        # halo increments holder -> owner.
+                        src, dst = (r, s) if step.op == "update" else (s, r)
+                        unpacks.append(
+                            e.message(
+                                f"{step.op[:3]}[{tag}].{src}->{dst}",
+                                src,
+                                dst,
+                                rows * dim,
+                                deps,
+                            )
+                        )
+                gate = e.global_gate(f"{step.op[:3]}.gate[{tag}]", unpacks or deps)
+                continue
+            name = _SHORT[step.name]
             tails = []
             for r, w in enumerate(e.works):
-                cost = (w.boundary_cells + w.interior_cells) * e.unit("adt_calc")
-                tasks = e.part(f"adt[{tag}]", r, cost, [gate], "adt_calc")
-                tails.append(e.node_barrier(f"adt.bar[{tag}].n{r}", r, tasks))
-            gate = e.global_gate(f"adt.gate[{tag}]", tails)
-
-            # Bulk-synchronous halo update of q (dim 4) and adt (dim 1).
-            unpacks = []
-            for r, w in enumerate(e.works):
-                for s, rows in w.out_bytes.items():
-                    unpacks.append(
-                        e.message(f"upd[{tag}].{r}->{s}", r, s, rows * 5, [gate])
-                    )
-            gate = e.global_gate(f"upd.gate[{tag}]", unpacks or [gate])
-
-            # res_calc + bres_calc.
-            tails = []
-            for r, w in enumerate(e.works):
-                cost = (w.exterior_edges + w.interior_edges) * e.unit("res_calc")
-                tasks = e.part(f"res[{tag}]", r, cost, [gate], "res_calc")
-                bcost = w.bedges * e.unit("bres_calc")
-                tasks += e.part(f"bres[{tag}]", r, bcost, [gate], "bres_calc")
-                tails.append(e.node_barrier(f"res.bar[{tag}].n{r}", r, tasks))
-            gate = e.global_gate(f"res.gate[{tag}]", tails)
-
-            # Bulk-synchronous accumulate of res (dim 4), reversed direction.
-            unpacks = []
-            for r, w in enumerate(e.works):
-                for s, rows in w.out_bytes.items():
-                    unpacks.append(
-                        e.message(f"acc[{tag}].{s}->{r}", s, r, rows * 4, [gate])
-                    )
-            gate = e.global_gate(f"acc.gate[{tag}]", unpacks or [gate])
-
-            # update.
-            tails = []
-            for r, w in enumerate(e.works):
-                cost = (w.boundary_cells + w.interior_cells) * e.unit("update")
-                tasks = e.part(f"update[{tag}]", r, cost, [gate], "update")
-                tails.append(e.node_barrier(f"update.bar[{tag}].n{r}", r, tasks))
-            gate = e.global_gate(f"update.gate[{tag}]", tails)
+                cost = _count(step, w) * e.unit(step.name)
+                tasks = e.part(f"{name}[{tag}]", r, cost, deps, step.name)
+                tails.append(e.node_barrier(f"{name}.bar[{tag}].n{r}", r, tasks))
+            gate = e.global_gate(f"{name}.gate[{tag}]", tails)
     return e.graph
 
 
 def _emit_overlapped(e: _Emitter) -> TaskGraph:
-    cfg = e.config
-    # Per-rank rolling dependency: the last update (per rank), no global gates.
-    last_update: list[list[int]] = [[] for _ in range(e.R)]
-    last_save: list[list[int]] = [[] for _ in range(e.R)]
-    for it in range(cfg.niter):
-        for r, w in enumerate(e.works):
-            cost = (w.boundary_cells + w.interior_cells) * e.unit("save_soln")
-            last_save[r] = e.part(f"save[{it}]", r, cost, last_update[r], "save_soln")
+    """Walk the overlapped program unrolled over every timestep.
 
-        for k in range(2):
-            tag = f"{it}.{k}"
-            adt_b: list[list[int]] = [[] for _ in range(e.R)]
-            adt_i: list[list[int]] = [[] for _ in range(e.R)]
-            q_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
+    Each rank's parts depend on the parts of the step's derived predecessors
+    *on that rank only* (plus message unpacks at the waits) — no global
+    gates anywhere, and cross-timestep edges chain the iterations without a
+    barrier between them.
+    """
+    program = airfoil_timestep(dist=True, overlap=True)
+    niter = e.config.niter
+    steps = program.steps * niter
+    edges = program.unrolled_edges(niter, commute_incs=True)
+    #: per step index, per rank: the task ids that mean "this step is done".
+    finals: list[list[list[int]]] = []
+    #: in-flight unpack ids per exchange op, per receiving rank.
+    pending: dict[str, list[list[int]]] = {
+        "update": [[] for _ in range(e.R)],
+        "accumulate": [[] for _ in range(e.R)],
+    }
 
-            for r, w in enumerate(e.works):
-                deps = last_update[r]
-                # q can ship as soon as the previous update finished.
-                for s, rows in w.out_bytes.items():
-                    q_unpacks[s].append(
-                        e.message(f"updq[{tag}].{r}->{s}", r, s, rows * 4, deps)
-                    )
-                # Boundary adt first: its results feed the adt messages.
-                adt_b[r] = e.part(
-                    f"adt_b[{tag}]", r, w.boundary_cells * e.unit("adt_calc"),
-                    deps, "adt_calc",
+    def deps_for(i: int, r: int) -> list[int]:
+        return [t for p in edges[i] for t in finals[p][r]]
+
+    for i, step in enumerate(steps):
+        it, j = divmod(i, len(program.steps))
+        tag = f"{it}.{j}"
+        if isinstance(step, ExchangeStep):
+            per_rank: list[list[int]] = [[] for _ in range(e.R)]
+            if step.phase == "start":
+                dim = _msg_dim(step)
+                for r, w in enumerate(e.works):
+                    for s, rows in w.out_bytes.items():
+                        src, dst = (r, s) if step.op == "update" else (s, r)
+                        pending[step.op][dst].append(
+                            e.message(
+                                f"{step.op[:3]}[{tag}].{src}->{dst}",
+                                src,
+                                dst,
+                                rows * dim,
+                                deps_for(i, src),
+                            )
+                        )
+            else:
+                # The wait completes when this rank's unpacks have landed;
+                # no task of its own.
+                for r in range(e.R):
+                    per_rank[r] = pending[step.op][r] + deps_for(i, r)
+                pending[step.op] = [[] for _ in range(e.R)]
+            finals.append(per_rank)
+            continue
+        finals.append(
+            [
+                e.part(
+                    _part_name(step, tag),
+                    r,
+                    _count(step, w) * e.unit(step.name),
+                    deps_for(i, r),
+                    step.name,
                 )
-                adt_i[r] = e.part(
-                    f"adt_i[{tag}]", r, w.interior_cells * e.unit("adt_calc"),
-                    deps, "adt_calc",
-                )
-
-            adt_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
-            for r, w in enumerate(e.works):
-                for s, rows in w.out_bytes.items():
-                    adt_unpacks[s].append(
-                        e.message(f"upda[{tag}].{r}->{s}", r, s, rows, adt_b[r])
-                    )
-
-            res_parts: list[list[int]] = [[] for _ in range(e.R)]
-            res_x: list[list[int]] = [[] for _ in range(e.R)]
-            for r, w in enumerate(e.works):
-                # Interior edges need only local adt.
-                res_i = e.part(
-                    f"res_i[{tag}]", r, w.interior_edges * e.unit("res_calc"),
-                    adt_b[r] + adt_i[r], "res_calc",
-                )
-                # Exterior edges additionally wait for the imports.
-                res_x[r] = e.part(
-                    f"res_x[{tag}]", r, w.exterior_edges * e.unit("res_calc"),
-                    adt_b[r] + adt_i[r] + q_unpacks[r] + adt_unpacks[r], "res_calc",
-                )
-                bres = e.part(
-                    f"bres[{tag}]", r, w.bedges * e.unit("bres_calc"),
-                    adt_b[r] + adt_i[r], "bres_calc",
-                )
-                res_parts[r] = res_i + res_x[r] + bres
-
-            acc_unpacks: dict[int, list[int]] = {s: [] for s in range(e.R)}
-            for r, w in enumerate(e.works):
-                # r owns the cells listed in exports[r][s]; rank s holds them
-                # as halo and its exterior edges incremented them, so the
-                # accumulate message flows s -> r once s's exterior part ran.
-                for s, rows in w.out_bytes.items():
-                    acc_unpacks[r].append(
-                        e.message(f"accr[{tag}].{s}->{r}", s, r, rows * 4, res_x[s])
-                    )
-
-            for r, w in enumerate(e.works):
-                deps = res_parts[r] + acc_unpacks[r] + last_save[r]
-                cost = (w.boundary_cells + w.interior_cells) * e.unit("update")
-                last_update[r] = e.part(f"update[{tag}]", r, cost, deps, "update")
+                for r, w in enumerate(e.works)
+            ]
+        )
     return e.graph

@@ -1,0 +1,36 @@
+"""Backend-agnostic execution engine: loop programs + pluggable executors.
+
+The timestep of an application is described once as a
+:class:`~repro.engine.program.LoopProgram` — loops, iteration subsets, halo
+points and footprints as data — and executed by whichever
+:mod:`~repro.engine.executors` executor matches the runtime mode.
+"""
+
+from repro.engine.airfoil import INNER_ITERS, airfoil_timestep
+from repro.engine.executors import (
+    DependencyExecutor,
+    ForkJoinExecutor,
+    ProgramBindings,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.program import (
+    ExchangeStep,
+    LoopProgram,
+    LoopStep,
+    steps_conflict,
+)
+
+__all__ = [
+    "INNER_ITERS",
+    "airfoil_timestep",
+    "DependencyExecutor",
+    "ForkJoinExecutor",
+    "ProgramBindings",
+    "SerialExecutor",
+    "make_executor",
+    "ExchangeStep",
+    "LoopProgram",
+    "LoopStep",
+    "steps_conflict",
+]

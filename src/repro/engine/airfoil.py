@@ -1,0 +1,213 @@
+"""THE Airfoil timestep, defined once, as a loop program.
+
+Every runtime mode in the repo consumes this single definition:
+
+- :class:`repro.airfoil.app.AirfoilApp` walks the *local* program through
+  ``op_par_loop`` (sync, async-with-derived-syncs, dataflow);
+- :class:`repro.dist.app.DistAirfoil` and the task-graph emitter
+  (:mod:`repro.dist.emission`) walk the *distributed* programs;
+- the procs-mode rank workers execute them for real via
+  :mod:`repro.engine.executors` with halo bytes on the wire.
+
+Three shapes of the same arithmetic:
+
+``airfoil_timestep()``
+    single address space — five whole-set loops, no exchanges;
+``airfoil_timestep(dist=True)``
+    SPMD bulk-synchronous (the MPI+OpenMP baseline): whole loops with
+    blocking ``update(q, adt)`` / ``accumulate(res)`` exchanges between them;
+``airfoil_timestep(dist=True, overlap=True)``
+    the HPX-dataflow shape: boundary ``adt_calc`` feeds the wire first,
+    interior ``res_calc``/``bres_calc`` run under the in-flight messages,
+    only exterior edges wait, and the residual accumulation ships while the
+    private (non-exported) cells update.
+
+Footprints use region granularity — ``own`` split into ``bnd`` (rows whose
+residual involves the halo phase: exported rows plus the owned endpoints of
+partition-crossing edges) and ``int`` (private interior rows), plus
+``halo`` — which is what lets the derived dependency edges express the
+overlap: interior compute never touches a ``halo`` or ``chan`` token, so
+nothing orders it after a wait. Residual contributions are ``incs``
+footprints, so loop-level consumers that treat increments as commutative
+(the async driver's derived syncs) can launch ``res_calc`` and
+``bres_calc`` concurrently; the executors use the strict conflict rule.
+"""
+
+from __future__ import annotations
+
+from repro.engine.program import ExchangeStep, LoopProgram, LoopStep
+
+#: Airfoil's fixed Runge-Kutta-style inner iteration count (two half steps).
+INNER_ITERS = 2
+
+#: Subset names used by the overlapped program; executors are handed a dict
+#: of local element ids under exactly these keys (see ``split_boundary``).
+CELL_SUBSETS = ("boundary_cells", "interior_cells")
+EDGE_SUBSETS = ("interior_edges", "exterior_edges")
+
+
+def _local_steps(inner_iters: int) -> tuple:
+    """Single-address-space program: plain dat-name tokens, no exchanges."""
+    save = LoopStep("save_soln", reads=("q",), writes=("qold",))
+    adt = LoopStep("adt_calc", reads=("x", "q"), writes=("adt",))
+    res = LoopStep("res_calc", reads=("x", "q", "adt"), incs=("res",))
+    bres = LoopStep(
+        "bres_calc",
+        reads=("x", "q", "adt", "bound", "qinf"),
+        incs=("res",),
+    )
+    update = LoopStep(
+        "update",
+        reads=("qold", "adt", "res"),
+        writes=("q", "res"),
+        incs=("rms",),
+    )
+    return (save,) + (adt, res, bres, update) * inner_iters
+
+
+def _blocking_steps(inner_iters: int) -> tuple:
+    """SPMD bulk-synchronous program: own/halo region tokens."""
+    save = LoopStep("save_soln", reads=("q:own",), writes=("qold:own",))
+    adt = LoopStep("adt_calc", reads=("x", "q:own"), writes=("adt:own",))
+    halo_update = ExchangeStep(
+        "update",
+        "blocking",
+        ("q", "adt"),
+        reads=("q:own", "adt:own", "chan:update"),
+        writes=("q:halo", "adt:halo", "chan:update"),
+    )
+    res = LoopStep(
+        "res_calc",
+        reads=("x", "q:own", "q:halo", "adt:own", "adt:halo"),
+        incs=("res:own", "res:halo"),
+    )
+    bres = LoopStep(
+        "bres_calc",
+        reads=("x", "bound", "qinf", "q:own", "adt:own"),
+        incs=("res:own",),
+    )
+    halo_accumulate = ExchangeStep(
+        "accumulate",
+        "blocking",
+        ("res",),
+        reads=("res:halo", "chan:accumulate"),
+        writes=("res:halo", "chan:accumulate"),
+        incs=("res:own",),
+    )
+    update = LoopStep(
+        "update",
+        reads=("qold:own", "adt:own", "res:own"),
+        writes=("q:own", "res:own"),
+        incs=("rms",),
+    )
+    inner = (adt, halo_update, res, bres, halo_accumulate, update)
+    return (save,) + inner * inner_iters
+
+
+def _overlapped_steps(inner_iters: int) -> tuple:
+    """SPMD overlapped program: bnd/int/halo region tokens.
+
+    Only exported (``bnd``) rows feed the wire and only ``halo``/``chan``
+    tokens order anything after a wait, so the derived DAG leaves every
+    interior step free to run under the in-flight messages.
+    """
+    save = LoopStep(
+        "save_soln", reads=("q:bnd", "q:int"), writes=("qold:own",)
+    )
+    adt_bnd = LoopStep(
+        "adt_calc", "boundary_cells", reads=("x", "q:bnd"), writes=("adt:bnd",)
+    )
+    update_start = ExchangeStep(
+        "update",
+        "start",
+        ("q", "adt"),
+        reads=("q:bnd", "adt:bnd", "chan:update"),
+        writes=("chan:update",),
+    )
+    adt_int = LoopStep(
+        "adt_calc", "interior_cells", reads=("x", "q:int"), writes=("adt:int",)
+    )
+    res_int = LoopStep(
+        "res_calc",
+        "interior_edges",
+        reads=("x", "q:bnd", "q:int", "adt:bnd", "adt:int"),
+        incs=("res:bnd", "res:int"),
+    )
+    bres = LoopStep(
+        "bres_calc",
+        reads=("x", "bound", "qinf", "q:bnd", "q:int", "adt:bnd", "adt:int"),
+        incs=("res:bnd", "res:int"),
+    )
+    update_wait = ExchangeStep(
+        "update",
+        "wait",
+        ("q", "adt"),
+        reads=("chan:update",),
+        writes=("q:halo", "adt:halo", "chan:update"),
+    )
+    res_ext = LoopStep(
+        "res_calc",
+        "exterior_edges",
+        reads=("x", "q:bnd", "q:halo", "adt:bnd", "adt:halo"),
+        incs=("res:bnd", "res:halo"),
+    )
+    accumulate_start = ExchangeStep(
+        "accumulate",
+        "start",
+        ("res",),
+        reads=("res:halo", "chan:accumulate"),
+        writes=("res:halo", "chan:accumulate"),
+    )
+    update_int = LoopStep(
+        "update",
+        "interior_cells",
+        reads=("qold:own", "adt:int", "res:int"),
+        writes=("q:int", "res:int"),
+        incs=("rms",),
+    )
+    accumulate_wait = ExchangeStep(
+        "accumulate",
+        "wait",
+        ("res",),
+        reads=("chan:accumulate",),
+        writes=("chan:accumulate",),
+        incs=("res:bnd",),
+    )
+    update_bnd = LoopStep(
+        "update",
+        "boundary_cells",
+        reads=("qold:own", "adt:bnd", "res:bnd"),
+        writes=("q:bnd", "res:bnd"),
+        incs=("rms",),
+    )
+    inner = (
+        adt_bnd,
+        update_start,
+        adt_int,
+        res_int,
+        bres,
+        update_wait,
+        res_ext,
+        accumulate_start,
+        update_int,
+        accumulate_wait,
+        update_bnd,
+    )
+    return (save,) + inner * inner_iters
+
+
+def airfoil_timestep(
+    *, dist: bool = False, overlap: bool = False, inner_iters: int = INNER_ITERS
+) -> LoopProgram:
+    """Build the canonical Airfoil timestep program for one schedule."""
+    if overlap and not dist:
+        raise ValueError("overlap=True requires dist=True (halo exchanges)")
+    if not dist:
+        return LoopProgram("airfoil.local", _local_steps(inner_iters))
+    if not overlap:
+        return LoopProgram("airfoil.blocking", _blocking_steps(inner_iters))
+    return LoopProgram(
+        "airfoil.overlapped",
+        _overlapped_steps(inner_iters),
+        partitions={"cells": CELL_SUBSETS, "edges": EDGE_SUBSETS},
+    )

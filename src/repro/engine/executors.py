@@ -1,0 +1,403 @@
+"""Pluggable executors: run one loop program against bound resources.
+
+A :class:`ProgramBindings` is everything a program needs at runtime — the
+rank's :class:`~repro.op2.parloop.ParLoop` objects keyed by loop name, the
+subset id arrays keyed by subset name, the raw field arrays and transport
+for exchange steps, and an optional recorder. Three executors consume the
+same (program, bindings) pair:
+
+:class:`SerialExecutor`
+    program order on the calling thread — the rank-per-process baseline
+    (``threads_per_rank=1``), byte-identical to the old hand-written
+    drivers;
+:class:`ForkJoinExecutor`
+    each loop step forks into per-color chunk batches on a
+    :class:`~repro.hpx.threadpool.ThreadPoolEngine` and joins before the
+    next step — the MPI+OpenMP shape (a barrier per loop, blocking
+    exchanges on the orchestrator);
+:class:`DependencyExecutor`
+    the whole program is scheduled up front as dependency-released pool
+    tasks using the program's derived edges; exchange waits occupy one
+    worker while every step with no path from a ``halo``/``chan`` token
+    keeps computing underneath — the HPX-dataflow shape, measured.
+
+Determinism contract (all executors): global MIN/MAX/INC partials are
+folded in static chunk order, never completion order; conflicting steps are
+ordered by derived edges; chunk decomposition depends only on (plan,
+subset). Repeated runs with the same configuration are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import apply_global_partials, execute_loop
+from repro.backends.threaded import bump_written_versions
+from repro.engine.program import ExchangeStep, LoopProgram, LoopStep, Step
+from repro.hpx.threadpool import PoolTask, ThreadPoolEngine
+from repro.obs.recorder import TraceRecorder
+from repro.op2.parloop import ParLoop
+from repro.op2.plan import DEFAULT_BLOCK_SIZE, Plan, build_plan, subset_color_pieces
+from repro.util.validate import ValidationError
+
+
+@dataclass
+class ProgramBindings:
+    """Runtime resources a program executes against (one rank's view)."""
+
+    loops: dict[str, ParLoop]
+    subsets: dict[str, np.ndarray] = field(default_factory=dict)
+    #: field name -> storage array, for exchange steps.
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: object providing ``update_start`` / ``accumulate_blocking`` / ... each
+    #: taking a list of field arrays; ``None`` is valid for exchange-free
+    #: programs.
+    transport: Any = None
+    recorder: TraceRecorder | None = None
+    #: iteration-space sizes keyed like ``LoopProgram.partitions``, enabling
+    #: exact-partition validation of the subset split.
+    space_sizes: dict[str, int] = field(default_factory=dict)
+
+    def elements(self, step: LoopStep) -> np.ndarray | None:
+        if step.subset is None:
+            return None
+        try:
+            return self.subsets[step.subset]
+        except KeyError:
+            raise ValidationError(
+                f"program step {step.label!r} needs subset "
+                f"{step.subset!r}; bindings have {sorted(self.subsets)}"
+            ) from None
+
+    def exchange(self, step: ExchangeStep) -> None:
+        if self.transport is None:
+            raise ValidationError(
+                f"program has exchange step {step.label!r} but the bindings "
+                "carry no transport"
+            )
+        fn = getattr(self.transport, step.method)
+        fn([self.arrays[name] for name in step.fields])
+
+    def validate_for(self, program: LoopProgram) -> None:
+        """Check loop coverage and that each declared partition is exact."""
+        missing = [n for n in program.loop_names() if n not in self.loops]
+        if missing:
+            raise ValidationError(f"bindings missing loops: {missing}")
+        for space, names in program.partitions.items():
+            parts = []
+            for name in names:
+                if name not in self.subsets:
+                    raise ValidationError(
+                        f"bindings missing subset {name!r} of space {space!r}"
+                    )
+                parts.append(np.asarray(self.subsets[name]))
+            merged = np.concatenate(parts) if parts else np.empty(0, np.int64)
+            if np.unique(merged).size != merged.size:
+                raise ValidationError(
+                    f"subsets of space {space!r} overlap: {names}"
+                )
+            size = self.space_sizes.get(space)
+            if size is not None and not np.array_equal(
+                np.sort(merged), np.arange(size, dtype=merged.dtype)
+            ):
+                raise ValidationError(
+                    f"subsets {names} do not partition space {space!r} "
+                    f"of size {size}"
+                )
+
+
+def _exchange_span(step: ExchangeStep) -> tuple[str, str]:
+    """(label, span kind) for an exchange step, matching historic traces."""
+    if step.phase == "blocking":
+        return f"halo.{step.op}", "wait"
+    kind = "release" if step.phase == "start" else "wait"
+    return step.label, kind
+
+
+class SerialExecutor:
+    """Program order on the calling thread; the ``threads_per_rank=1`` path."""
+
+    name = "serial"
+
+    def run(self, program: LoopProgram, b: ProgramBindings) -> None:
+        rec = b.recorder
+        for step in program.steps:
+            if isinstance(step, ExchangeStep):
+                if rec is None:
+                    b.exchange(step)
+                    continue
+                label, kind = _exchange_span(step)
+                t0 = rec.now()
+                b.exchange(step)
+                rec.span(label, kind, "exchange", t0, rec.now())
+                continue
+            loop = b.loops[step.name]
+            elements = b.elements(step)
+            if elements is not None and len(elements) == 0:
+                continue
+            if rec is None:
+                execute_loop(loop, elements)
+                continue
+            t0 = rec.now()
+            execute_loop(loop, elements)
+            end = rec.now()
+            label = step.name if step.subset is None else f"{step.name}.part"
+            rec.span(label, "loop", step.name, t0, end, busy=True)
+            rec.record_loop(step.name, end - t0, 1, 1)
+
+
+class _ChunkedLoops:
+    """Shared chunk decomposition cache for the threaded executors.
+
+    Per (loop, subset): the plan's color classes restricted to the subset and
+    regrouped into at most ``width`` chunks per color. Depends only on static
+    inputs, so the decomposition — and therefore the reduction fold order —
+    is identical across runs.
+    """
+
+    def __init__(self, width: int, block_size: int) -> None:
+        self.width = max(1, int(width))
+        self.block_size = int(block_size)
+        self._plans: dict[str, Plan] = {}
+        self._chunks: dict[tuple[str, str | None], list[tuple[int, list[np.ndarray]]]] = {}
+
+    def plan(self, loop: ParLoop) -> Plan:
+        p = self._plans.get(loop.name)
+        if p is None:
+            p = self._plans[loop.name] = build_plan(
+                loop.set_, list(loop.args), self.block_size
+            )
+        return p
+
+    def chunks(
+        self, step: LoopStep, loop: ParLoop, b: ProgramBindings
+    ) -> list[tuple[int, list[np.ndarray]]]:
+        """[(color, [chunk element ids, ...]), ...] for one loop step."""
+        key = (step.name, step.subset)
+        cached = self._chunks.get(key)
+        if cached is not None:
+            return cached
+        plan = self.plan(loop)
+        elements = b.elements(step)
+        out: list[tuple[int, list[np.ndarray]]] = []
+        if not plan.colored:
+            if elements is None:
+                elements = np.arange(loop.set_.size, dtype=np.int64)
+            if len(elements):
+                pieces = np.array_split(elements, min(self.width, len(elements)))
+                out.append((0, [p for p in pieces if len(p)]))
+        else:
+            for ci, pieces in enumerate(subset_color_pieces(plan, elements)):
+                if pieces:
+                    out.append((ci, _regroup(pieces, self.width)))
+        self._chunks[key] = out
+        return out
+
+
+def _regroup(pieces: list[np.ndarray], width: int) -> list[np.ndarray]:
+    """Merge same-color pieces into at most ``width`` balanced chunks.
+
+    Pieces stay in block order and chunks are contiguous runs of pieces, so
+    every chunk is a sorted id array and the decomposition is static.
+    """
+    total = sum(len(p) for p in pieces)
+    if len(pieces) <= width:
+        return [p for p in pieces if len(p)]
+    target = max(1, -(-total // width))
+    chunks: list[np.ndarray] = []
+    bucket: list[np.ndarray] = []
+    filled = 0
+    for p in pieces:
+        if not len(p):
+            continue
+        bucket.append(p)
+        filled += len(p)
+        if filled >= target and len(chunks) < width - 1:
+            chunks.append(np.concatenate(bucket))
+            bucket, filled = [], 0
+    if bucket:
+        chunks.append(np.concatenate(bucket))
+    return chunks
+
+
+def _run_chunk(loop: ParLoop, elements: np.ndarray) -> list:
+    """Pool-task body: execute one chunk, return its deferred partials."""
+    partials: list = []
+    execute_loop(
+        loop, elements, global_sink=partials, bump_versions=False
+    )
+    return partials
+
+
+class ForkJoinExecutor:
+    """Per-loop fork-join on a thread pool; blocking exchanges in between.
+
+    This is the measured MPI+OpenMP baseline shape: colors run as barrier-
+    separated batches, the orchestrating thread performs the exchanges, and
+    nothing overlaps a wait.
+    """
+
+    name = "forkjoin"
+
+    def __init__(
+        self, pool: ThreadPoolEngine, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        self.pool = pool
+        self._chunked = _ChunkedLoops(pool.num_workers, block_size)
+
+    def run(self, program: LoopProgram, b: ProgramBindings) -> None:
+        rec = b.recorder
+        for step in program.steps:
+            if isinstance(step, ExchangeStep):
+                if rec is None:
+                    b.exchange(step)
+                    continue
+                label, kind = _exchange_span(step)
+                t0 = rec.now()
+                b.exchange(step)
+                rec.span(label, kind, "exchange", t0, rec.now())
+                continue
+            self._run_loop(step, b)
+
+    def _run_loop(self, step: LoopStep, b: ProgramBindings) -> None:
+        rec = b.recorder
+        loop = b.loops[step.name]
+        colors = self._chunked.chunks(step, loop, b)
+        if not colors:
+            return
+        t0 = rec.now() if rec is not None else 0.0
+        partials: list = []
+        ncolors = 0
+        ntasks = 0
+        for ci, chunks in colors:
+            ncolors += 1
+            ntasks += len(chunks)
+            results = self.pool.run_batch(
+                [lambda c=c: _run_chunk(loop, c) for c in chunks],
+                loop=step.name,
+                color=ci,
+            )
+            for task_partials in results:
+                partials.extend(task_partials)
+        apply_global_partials(partials)
+        bump_written_versions(loop)
+        if rec is not None:
+            end = rec.now()
+            rec.span(step.label, "loop", step.name, t0, end)
+            _count, task_s = rec.take_task_totals(step.name)
+            rec.record_loop(step.name, end - t0, ncolors, ntasks, task_s)
+
+
+class DependencyExecutor:
+    """Whole-program dependency scheduling on a thread pool.
+
+    Every step becomes a small task graph (chunk tasks per color, an inline
+    gate per color, an inline finalizer folding the reduction partials) whose
+    roots depend on the *finalizers of the step's derived predecessors* —
+    nothing else. Exchange steps run as single pool tasks, so a wait occupies
+    one worker while released compute fills the rest: communication hides
+    behind computation exactly where the program's footprints allow it.
+    """
+
+    name = "dependency"
+
+    def __init__(
+        self, pool: ThreadPoolEngine, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        self.pool = pool
+        self._chunked = _ChunkedLoops(pool.num_workers, block_size)
+        self._edges: dict[int, tuple[tuple[int, ...], ...]] = {}
+
+    def run(self, program: LoopProgram, b: ProgramBindings) -> None:
+        edges = self._edges.get(id(program))
+        if edges is None:
+            edges = self._edges[id(program)] = program.edges()
+        finals: list[PoolTask] = []
+        for i, step in enumerate(program.steps):
+            deps = [finals[j] for j in edges[i]]
+            if isinstance(step, ExchangeStep):
+                finals.append(
+                    self.pool.submit_after(
+                        lambda s=step: b.exchange(s), deps, loop=s_label(step)
+                    )
+                )
+            else:
+                finals.append(self._schedule_loop(step, b, deps))
+        # One join per timestep: the program's tail steps (and, transitively,
+        # everything else) must be done before the next program instance is
+        # scheduled against the same storage.
+        self.pool.wait_all(finals, loop=program.name)
+
+    def _schedule_loop(
+        self, step: LoopStep, b: ProgramBindings, deps: list[PoolTask]
+    ) -> PoolTask:
+        pool = self.pool
+        rec = b.recorder
+        loop = b.loops[step.name]
+        colors = self._chunked.chunks(step, loop, b)
+        if not colors:
+            return pool.gate(deps, loop=step.label)
+        t0 = rec.now() if rec is not None else 0.0
+        prev: list[PoolTask] = deps
+        all_tasks: list[PoolTask] = []
+        ncolors = 0
+        ntasks = 0
+        for ci, chunks in colors:
+            ncolors += 1
+            tasks = [
+                pool.submit_after(
+                    lambda c=c: _run_chunk(loop, c),
+                    prev,
+                    loop=step.name,
+                    color=ci,
+                    index=k,
+                )
+                for k, c in enumerate(chunks)
+            ]
+            all_tasks.extend(tasks)
+            ntasks += len(tasks)
+            # Colors are the correctness barrier for indirect reductions;
+            # an inline gate releases the next color with no pool join.
+            prev = [pool.gate(tasks, loop=step.name, color=ci)]
+
+        def finalize() -> None:
+            partials: list = []
+            for task in all_tasks:
+                partials.extend(task.value())
+            apply_global_partials(partials)
+            bump_written_versions(loop)
+            if rec is not None:
+                end = rec.now()
+                _count, task_s = rec.take_task_totals(step.name)
+                rec.record_loop(
+                    step.name, end - t0, ncolors, ntasks, task_s
+                )
+
+        return pool.submit_after(
+            finalize, prev, loop=f"{step.label}.fin", inline=True
+        )
+
+
+def s_label(step: Step) -> str:
+    return step.label
+
+
+def make_executor(
+    schedule: str,
+    pool: ThreadPoolEngine | None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+):
+    """Executor selection policy for the per-rank engine.
+
+    No pool (``threads_per_rank=1``) is the serial baseline; with a pool the
+    ``blocking`` schedule gets the fork-join (MPI+OpenMP) shape and the
+    ``overlapped`` schedule the dependency-scheduled (HPX-dataflow) shape.
+    """
+    if pool is None:
+        return SerialExecutor()
+    if schedule == "blocking":
+        return ForkJoinExecutor(pool, block_size)
+    return DependencyExecutor(pool, block_size)

@@ -74,6 +74,7 @@ def write_rank_trace(recorder: "TraceRecorder", rank: int, path: str | Path) -> 
             "name": e.name,
             "kind": e.kind,
             "loop": e.loop,
+            "row": e.row,
             "start": e.start,
             "end": e.end,
             "color": e.color,
@@ -89,7 +90,12 @@ def merge_rank_traces(
     path: str | Path,
     process_name: str = "repro.procs",
 ) -> int:
-    """Merge per-rank span files into one Chrome trace, one lane per rank.
+    """Merge per-rank span files into one Chrome trace.
+
+    Lanes are keyed ``rank R / thread T``: every rank contributes one lane
+    per recorder row (row 0 is the rank's orchestrating thread; hybrid runs
+    add one row per pool worker), so intra-rank worker spans never collide
+    on a shared rank lane. Lane ids are assigned rank-major, thread-minor.
 
     Accepts either ``{rank: file}`` or a plain list of files (each file
     names its own rank). Missing files are skipped — a rank that died
@@ -105,17 +111,23 @@ def merge_rank_traces(
             continue
         payload = json.loads(file.read_text())
         per_rank[int(payload.get("rank", rank))] = payload["spans"]
+    lanes: dict[tuple[int, int], int] = {}
+    for rank, spans in sorted(per_rank.items()):
+        for row in sorted({int(s.get("row", 0)) for s in spans} | {0}):
+            lanes[(rank, row)] = len(lanes)
     events = metadata_events(
-        process_name, {r: f"rank {r}" for r in sorted(per_rank)}
+        process_name,
+        {tid: f"rank {r} / thread {t}" for (r, t), tid in lanes.items()},
     )
     for rank, spans in sorted(per_rank.items()):
         for s in spans:
+            row = int(s.get("row", 0))
             events.append(
                 duration_event(
                     s["name"],
                     s["kind"],
                     s["loop"],
-                    rank,
+                    lanes[(rank, row)],
                     s["start"] * 1e6,
                     (s["end"] - s["start"]) * 1e6,
                     args={
@@ -123,6 +135,7 @@ def merge_rank_traces(
                         "loop": s["loop"],
                         "color": s.get("color", -1),
                         "rank": rank,
+                        "thread": row,
                     },
                 )
             )

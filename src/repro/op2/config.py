@@ -49,6 +49,9 @@ class RuntimeConfig:
         num_workers: OS threads for ``mode="threads"``; ``None`` inherits the
             runtime's ``num_threads``.
         num_ranks: OS processes for ``mode="procs"``; ``None`` elsewhere.
+        threads_per_rank: pool threads inside each rank process for
+            ``mode="procs"`` (the hybrid MPI+OpenMP analogue); ``None``
+            elsewhere, ``1`` keeps ranks single-threaded.
         trace: collect per-task/per-color/per-loop wall-clock events for
             Chrome-trace export (threads mode; implies per-kernel timing).
         timing: collect the per-kernel timing aggregates only (no event
@@ -61,6 +64,7 @@ class RuntimeConfig:
     mode: str = "sim"
     num_workers: int | None = None
     num_ranks: int | None = None
+    threads_per_rank: int | None = None
     trace: bool = False
     timing: bool = False
     log_limit: int | None = None
@@ -81,6 +85,16 @@ class RuntimeConfig:
                 )
             if self.num_ranks < 1:
                 raise Op2Error(f"num_ranks must be >= 1, got {self.num_ranks}")
+        if self.threads_per_rank is not None:
+            if self.mode != "procs":
+                raise Op2Error(
+                    "threads_per_rank only applies to mode='procs', "
+                    f"got mode={self.mode!r}"
+                )
+            if self.threads_per_rank < 1:
+                raise Op2Error(
+                    f"threads_per_rank must be >= 1, got {self.threads_per_rank}"
+                )
         if self.log_limit is not None and self.log_limit < 0:
             raise Op2Error(
                 f"log_limit must be >= 0 (0 disables), got {self.log_limit}"
@@ -97,6 +111,12 @@ class RuntimeConfig:
     def resolve_ranks(self, default: int = 2) -> int:
         """Rank-process count for ``mode='procs'`` (``None`` -> ``default``)."""
         return int(self.num_ranks) if self.num_ranks is not None else int(default)
+
+    def resolve_threads_per_rank(self, default: int = 1) -> int:
+        """Per-rank pool width for ``mode='procs'`` (``None`` -> ``default``)."""
+        if self.threads_per_rank is not None:
+            return int(self.threads_per_rank)
+        return int(default)
 
     @property
     def observing(self) -> bool:

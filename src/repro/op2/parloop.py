@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.op2.access import Access
 from repro.op2.args import Arg
 from repro.op2.exceptions import Op2Error
 from repro.op2.kernel import Kernel

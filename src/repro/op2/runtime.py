@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Iterator
 
 from repro.hpx.future import Future
 from repro.hpx.runtime import HPXRuntime, set_runtime

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from time import monotonic, perf_counter
 
@@ -49,15 +49,20 @@ def default_spawn_method() -> str:
 class ProcsConfig:
     """One measured multi-process run.
 
-    ``spawn_method=None`` picks :func:`default_spawn_method`. ``trace_dir``
-    enables per-rank span recording; the driver merges the rank files into
-    ``<trace_dir>/trace.json`` (one Chrome-trace lane per rank).
-    ``fail_rank``/``fail_at_iter`` inject a failure for teardown tests.
+    ``threads_per_rank > 1`` makes every rank host its own thread pool —
+    the hybrid ranks×threads configuration (blocking = MPI+OpenMP baseline,
+    overlapped = dependency-scheduled interior compute under in-flight halo
+    messages). ``spawn_method=None`` picks :func:`default_spawn_method`.
+    ``trace_dir`` enables per-rank span recording; the driver merges the
+    rank files into ``<trace_dir>/trace.json`` (one Chrome-trace lane per
+    rank thread, keyed ``rank R / thread T``). ``fail_rank``/``fail_at_iter``
+    inject a failure for teardown tests.
     """
 
     ranks: int = 2
     niter: int = 5
     schedule: str = "blocking"
+    threads_per_rank: int = 1
     partitioner: str = "rcb"
     spawn_method: str | None = None
     constants: FlowConstants = DEFAULT_CONSTANTS
@@ -77,6 +82,10 @@ class ProcsConfig:
         if self.schedule not in SCHEDULES:
             raise ValidationError(
                 f"unknown schedule {self.schedule!r}; use one of {SCHEDULES}"
+            )
+        if self.threads_per_rank < 1:
+            raise ValidationError(
+                f"threads_per_rank must be >= 1, got {self.threads_per_rank}"
             )
         if self.spawn_method is not None and (
             self.spawn_method not in mp.get_all_start_methods()
@@ -121,6 +130,7 @@ class ProcsResult:
     iterations: int
     ranks: int
     schedule: str
+    threads_per_rank: int
     #: slowest rank's timestep-loop wall time — the run's critical path.
     wall_seconds: float
     reports: dict[int, RankReport]
@@ -133,16 +143,28 @@ class ProcsResult:
     shm_names: tuple[str, ...]
 
     def timing_summary(self) -> TimingSummary:
-        """Merge the per-rank kernel aggregates into one timing table.
+        """Aggregate per-kernel totals *across ranks* into one timing table.
 
-        Rank ``r`` occupies busy-row ``r + 1`` (row 0 is the orchestrating
-        parent, which does no kernel work), mirroring the threads-mode
-        orchestrator/worker split.
+        This is the distributed ``op_timing_output``: one row per kernel
+        summed over every rank. Busy rows are keyed rank-major, thread-minor
+        (rank ``r``'s thread ``t`` occupies row ``1 + r*T + t``; row 0 is
+        the orchestrating parent, which does no kernel work), so hybrid runs
+        attribute busy seconds per rank *thread*, not per rank.
         """
         merged: dict[str, KernelTiming] = {}
         busy: dict[int, float] = {}
+        tpr = max(self.threads_per_rank, 1)
+        # A hybrid rank records up to tpr + 1 rows (its main thread plus the
+        # pool workers); the stride keeps rank row ranges disjoint.
+        stride = tpr + 1 if tpr > 1 else 1
         for rank, rep in sorted(self.reports.items()):
-            busy[rank + 1] = sum(kt.total for kt in rep.kernels.values())
+            if rep.busy:
+                for row, seconds in sorted(rep.busy.items()):
+                    busy[1 + rank * stride + row] = seconds
+            else:
+                busy[1 + rank * stride] = sum(
+                    kt.total for kt in rep.kernels.values()
+                )
             for name, kt in rep.kernels.items():
                 m = merged.get(name)
                 if m is None:
@@ -154,11 +176,13 @@ class ProcsResult:
                 m.colors = max(m.colors, kt.colors)
                 m.tasks += kt.tasks
                 m.task_time += kt.task_time
+                m.prefix_time += kt.prefix_time
+                m.fold_time += kt.fold_time
         return TimingSummary(
             kernels=merged,
             wall=self.wall_seconds,
             busy=busy,
-            num_workers=self.ranks,
+            num_workers=self.ranks * tpr,
             comm=dict(self.comm),
         )
 
@@ -201,6 +225,7 @@ def run_procs(mesh: AirfoilMesh, config: ProcsConfig) -> ProcsResult:
                 niter=config.niter,
                 schedule=config.schedule,
                 epoch=epoch,
+                threads_per_rank=config.threads_per_rank,
                 trace=trace_dir is not None,
                 timing=config.timing,
                 trace_path=(
@@ -254,6 +279,7 @@ def run_procs(mesh: AirfoilMesh, config: ProcsConfig) -> ProcsResult:
             iterations=config.niter,
             ranks=config.ranks,
             schedule=config.schedule,
+            threads_per_rank=config.threads_per_rank,
             wall_seconds=max(rep.wall_seconds for rep in reports.values()),
             reports=reports,
             comm=comm,
@@ -262,16 +288,32 @@ def run_procs(mesh: AirfoilMesh, config: ProcsConfig) -> ProcsResult:
             shm_names=registry.segment_names,
         )
     finally:
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-        for p in procs:
-            if p.is_alive():
+        # Teardown must be unconditional and complete on *every* exit path —
+        # success, rank failure, driver-side exceptions and KeyboardInterrupt
+        # alike — or shared-memory segments leak until reboot. Each stage is
+        # isolated so a failure in one never skips the registry unlink.
+        try:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
                 p.join(timeout=10.0)
-        for ch in channels:
-            ch.close()
-        results.close()
-        registry.close()
+                if p.is_alive():
+                    # terminate() (SIGTERM) can be absorbed by a rank stuck
+                    # in uninterruptible I/O; escalate rather than leak it.
+                    p.kill()
+                    p.join(timeout=10.0)
+        finally:
+            for ch in channels:
+                try:
+                    ch.close()
+                except OSError:
+                    pass
+            try:
+                results.close()
+            except OSError:
+                pass
+            registry.close()
 
 
 def _collect(

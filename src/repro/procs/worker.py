@@ -1,23 +1,28 @@
-"""The per-rank SPMD loop runner (runs inside each rank process).
+"""The per-rank SPMD worker (runs inside each rank process).
 
 Every rank process rebuilds its kernels and loop objects locally (kernel
 closures do not pickle; the :class:`~repro.dist.plan.RankPlan` does), wires
-its dats over the shared-memory segments the parent created, and runs the
-Airfoil timestep with real halo messages in between. Two schedules over
-identical arithmetic:
+its dats over the shared-memory segments the parent created, and executes
+the canonical Airfoil timestep program
+(:func:`repro.engine.airfoil.airfoil_timestep`) with real halo messages in
+between. The schedule picks the program shape and the
+``threads_per_rank``/schedule pair picks the executor:
 
-- ``blocking`` — the MPI+OpenMP baseline: whole loops, bulk-synchronous
-  exchanges (:meth:`~repro.procs.transport.HaloTransport.update_blocking`);
-- ``overlapped`` — the HPX-dataflow shape: ``adt_calc`` runs boundary-first
-  so the q/adt message posts early, interior ``res_calc`` and ``bres_calc``
-  execute under the in-flight wire, and only the exterior edges wait;
-  symmetrically the residual accumulation ships while the private (non
-  exported) cells update.
+========== ================ ==========================================
+schedule   threads_per_rank executor
+========== ================ ==========================================
+blocking   1                serial (rank-per-process MPI baseline)
+blocking   > 1              fork-join pool (MPI+OpenMP baseline)
+overlapped 1                serial, program-ordered split loops
+overlapped > 1              dependency-scheduled pool (HPX shape):
+                            interior compute runs multithreaded under
+                            the in-flight halo messages
+========== ================ ==========================================
 
 The split subsets partition each loop's iteration space exactly, and the
 kernels/gather/scatter are byte-for-byte the single-rank machinery
 (:func:`repro.backends.base.execute_loop` with an ``elements`` subset), so
-both schedules assemble the same solution to rounding.
+every configuration assembles the same solution to rounding.
 """
 
 from __future__ import annotations
@@ -30,9 +35,10 @@ import numpy as np
 
 from repro.airfoil.constants import FlowConstants
 from repro.airfoil.kernels import make_kernels
-from repro.backends.base import execute_loop
 from repro.dist.app import RankState, build_rank_state
 from repro.dist.plan import RankPlan
+from repro.engine import ProgramBindings, airfoil_timestep, make_executor
+from repro.hpx.threadpool import ThreadPoolEngine
 from repro.obs.recorder import TraceRecorder
 from repro.obs.timing import KernelTiming
 from repro.op2 import OpGlobal
@@ -57,6 +63,8 @@ class RankSpec:
     #: shared monotonic epoch: all rank recorders measure against the same
     #: zero so the merged trace's lanes line up.
     epoch: float
+    #: intra-rank worker threads; 1 keeps the serial per-rank path.
+    threads_per_rank: int = 1
     trace: bool = False
     timing: bool = False
     trace_path: str | None = None
@@ -76,29 +84,37 @@ class RankReport:
     message_log: list[tuple[int, float]] = field(default_factory=list)
     #: per-kernel wall-clock aggregates (timing mode only).
     kernels: dict[str, KernelTiming] = field(default_factory=dict)
+    #: per-thread busy seconds, keyed by recorder row (0 = rank main thread).
+    busy: dict[int, float] = field(default_factory=dict)
+    threads: int = 1
     trace_events: int = 0
 
 
 def split_boundary(rp: RankPlan) -> dict[str, np.ndarray]:
     """Boundary/interior split of one rank's iteration spaces (local ids).
 
-    ``boundary_cells`` is the union of the export lists — exactly the owned
-    rows whose values must be computed before the halo update can post.
     ``exterior_edges`` touch at least one halo cell and must wait for the
-    imports; ``interior_edges`` see only owned rows. The cell split doubles
-    as the update-loop split: remote residual contributions only ever land
-    on exported rows, so ``interior_cells`` can update while the
-    accumulation is still in flight.
+    imports; ``interior_edges`` see only owned rows. ``boundary_cells`` are
+    the owned rows whose residual is not final until the exterior edges and
+    the remote accumulation have landed: the exported rows (remote
+    contributions arrive there) *plus* the owned endpoints of exterior
+    edges. The latter are not always exported — a shared edge belongs to
+    exactly one rank, so its owned endpoint may be a cell no neighbor ever
+    imports — but their residual still includes an exterior-edge flux, so
+    they must not update while the halo phase is in flight.
+    ``interior_cells`` is the complement: rows only interior edges and
+    boundary edges touch, free to update under the in-flight accumulation.
     """
+    pecell = rp.pecell.values
+    exterior_mask = (pecell >= rp.n_owned).any(axis=1)
+    ext_rows = pecell[exterior_mask].ravel()
+    pieces = [ext_rows[ext_rows < rp.n_owned]]
     if rp.exports:
-        boundary = np.unique(np.concatenate(list(rp.exports.values())))
-    else:
-        boundary = np.empty(0, dtype=np.int64)
+        pieces.extend(rp.exports.values())
+    boundary = np.unique(np.concatenate(pieces).astype(np.int64))
     interior = np.setdiff1d(
         np.arange(rp.n_owned, dtype=np.int64), boundary, assume_unique=True
     )
-    pecell = rp.pecell.values
-    exterior_mask = (pecell >= rp.n_owned).any(axis=1)
     return {
         "boundary_cells": boundary,
         "interior_cells": interior,
@@ -108,7 +124,7 @@ def split_boundary(rp: RankPlan) -> dict[str, np.ndarray]:
 
 
 class RankRunner:
-    """One rank's timestep loop over its local state and transport."""
+    """One rank's engine session: program + bindings + executor."""
 
     def __init__(
         self,
@@ -116,6 +132,7 @@ class RankRunner:
         state: RankState,
         transport: HaloTransport,
         recorder: TraceRecorder | None = None,
+        pool: ThreadPoolEngine | None = None,
     ) -> None:
         if spec.schedule not in SCHEDULES:
             raise ValidationError(
@@ -125,83 +142,32 @@ class RankRunner:
         self.state = state
         self.transport = transport
         self.rec = recorder
-        self.split = split_boundary(spec.plan)
+        self.pool = pool
+        self.program = airfoil_timestep(
+            dist=True, overlap=spec.schedule == "overlapped"
+        )
+        self.bindings = ProgramBindings(
+            loops=state.loops,
+            subsets=split_boundary(spec.plan),
+            arrays={"q": state.q, "adt": state.adt, "res": state.res},
+            transport=transport,
+            recorder=recorder,
+            space_sizes={
+                "cells": spec.plan.n_owned,
+                "edges": spec.plan.edges_set.size,
+            },
+        )
+        self.bindings.validate_for(self.program)
+        self.executor = make_executor(spec.schedule, pool)
         self.iterations = 0
 
-    # -- instrumented primitives ---------------------------------------------
-
-    def _loop(self, name: str, elements: np.ndarray | None = None) -> None:
-        loop = self.state.loops[name]
-        if elements is not None and len(elements) == 0:
-            return
-        if self.rec is None:
-            execute_loop(loop, elements)
-            return
-        t0 = self.rec.now()
-        execute_loop(loop, elements)
-        end = self.rec.now()
-        label = name if elements is None else f"{name}.part"
-        self.rec.span(label, "loop", name, t0, end, busy=True)
-        self.rec.record_loop(name, end - t0, 1, 1)
-
-    def _comm(self, label: str, kind: str, fn, fields) -> None:
-        if self.rec is None:
-            fn(fields)
-            return
-        t0 = self.rec.now()
-        fn(fields)
-        self.rec.span(label, kind, "exchange", t0, self.rec.now())
-
-    # -- schedules -----------------------------------------------------------
-
-    def step_blocking(self) -> None:
-        s, t = self.state, self.transport
-        self._loop("save_soln")
-        for _ in range(2):
-            self._loop("adt_calc")
-            self._comm("halo.update", "wait", t.update_blocking, [s.q, s.adt])
-            self._loop("res_calc")
-            self._loop("bres_calc")
-            self._comm(
-                "halo.accumulate", "wait", t.accumulate_blocking, [s.res]
-            )
-            self._loop("update")
-
-    def step_overlapped(self) -> None:
-        s, t, sp = self.state, self.transport, self.split
-        self._loop("save_soln")
-        for _ in range(2):
-            # Boundary adt first: its rows feed the wire immediately.
-            self._loop("adt_calc", sp["boundary_cells"])
-            self._comm("halo.update.start", "release", t.update_start, [s.q, s.adt])
-            # Interior work proceeds under the in-flight messages.
-            self._loop("adt_calc", sp["interior_cells"])
-            self._loop("res_calc", sp["interior_edges"])
-            self._loop("bres_calc")
-            self._comm("halo.update.wait", "wait", t.update_wait, [s.q, s.adt])
-            self._loop("res_calc", sp["exterior_edges"])
-            # Residuals ship while the private cells update.
-            self._comm(
-                "halo.accumulate.start", "release", t.accumulate_start, [s.res]
-            )
-            self._loop("update", sp["interior_cells"])
-            self._comm(
-                "halo.accumulate.wait", "wait", t.accumulate_wait, [s.res]
-            )
-            self._loop("update", sp["boundary_cells"])
-
     def run(self) -> None:
-        step = (
-            self.step_blocking
-            if self.spec.schedule == "blocking"
-            else self.step_overlapped
-        )
         for i in range(self.spec.niter):
             if self.spec.fail_at_iter is not None and i == self.spec.fail_at_iter:
                 raise RuntimeError(
                     f"injected failure on rank {self.spec.rank} at iteration {i}"
                 )
-            step()
+            self.executor.run(self.program, self.bindings)
             self.iterations += 1
 
 
@@ -214,6 +180,7 @@ def worker_main(spec: RankSpec, channels: RankChannels, barrier, results) -> Non
     and re-raises with this traceback embedded.
     """
     attached: AttachedRank | None = None
+    pool: ThreadPoolEngine | None = None
     try:
         attached = AttachedRank(spec.layout)
         kernels = make_kernels(spec.constants)
@@ -229,7 +196,10 @@ def worker_main(spec: RankSpec, channels: RankChannels, barrier, results) -> Non
         if spec.trace or spec.timing:
             rec = TraceRecorder(events=spec.trace)
             rec.epoch = spec.epoch
-        runner = RankRunner(spec, state, transport, rec)
+        if spec.threads_per_rank > 1:
+            pool = ThreadPoolEngine(spec.threads_per_rank)
+            pool.recorder = rec
+        runner = RankRunner(spec, state, transport, rec, pool)
         barrier.wait()
         t0 = perf_counter()
         runner.run()
@@ -246,6 +216,8 @@ def worker_main(spec: RankSpec, channels: RankChannels, barrier, results) -> Non
             comm=transport.comm_counters(),
             message_log=transport.message_log(),
             kernels=dict(rec.kernels) if rec is not None else {},
+            busy=dict(rec.summary().busy) if rec is not None else {},
+            threads=spec.threads_per_rank,
             trace_events=trace_events,
         )
         results.put(("done", spec.rank, report))
@@ -253,5 +225,7 @@ def worker_main(spec: RankSpec, channels: RankChannels, barrier, results) -> Non
         results.put(("error", spec.rank, traceback.format_exc()))
         raise SystemExit(1)
     finally:
+        if pool is not None:
+            pool.close()
         if attached is not None:
             attached.close()

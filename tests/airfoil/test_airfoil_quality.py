@@ -1,7 +1,6 @@
 """Tests for mesh quality metrics."""
 
 import numpy as np
-import pytest
 
 from repro.airfoil import generate_mesh
 from repro.airfoil.quality import cell_quality_arrays, mesh_quality

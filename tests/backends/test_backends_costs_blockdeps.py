@@ -12,7 +12,6 @@ from repro.backends.blockdeps import (
 )
 from repro.backends.costs import LoopCostModel, block_costs
 from repro.op2 import op2_session
-from repro.op2.runtime import LoopRecord
 from repro.sim.machine import paper_machine
 
 

@@ -1,6 +1,5 @@
 """Tests for the shared emission helpers and reentrancy corners."""
 
-import numpy as np
 import pytest
 
 from repro.backends.emission import add_gate, static_split

@@ -1,6 +1,5 @@
 """Cross-backend numerical agreement on the Airfoil application."""
 
-import numpy as np
 import pytest
 
 from repro.airfoil import AirfoilApp, ReferenceAirfoil

@@ -71,6 +71,60 @@ def test_conformance_matrix(backend, mode, num_workers, mini_mesh, seq_reference
     assert result.rms_total == pytest.approx(ref_result.rms_total, abs=TOL)
 
 
+@pytest.mark.parametrize("threads_per_rank", [1, 2])
+@pytest.mark.parametrize("schedule", ["blocking", "overlapped"])
+def test_procs_hybrid_conformance(
+    schedule, threads_per_rank, mini_mesh, seq_reference
+):
+    """mode="procs" joins the matrix: ranks x threads x schedule vs seq.
+
+    Real OS processes over shared memory, each running the canonical
+    timestep program through its schedule's executor (serial, fork-join,
+    or dependency-scheduled) — the assembled solution must still agree
+    with the sequential reference.
+    """
+    from repro.procs import ProcsConfig, run_procs
+
+    ref_state, ref_result = seq_reference
+    res = run_procs(
+        mini_mesh,
+        ProcsConfig(
+            ranks=2,
+            niter=NITER,
+            schedule=schedule,
+            threads_per_rank=threads_per_rank,
+        ),
+    )
+    diff = float(np.abs(res.q - ref_state["p_q"]).max())
+    assert diff <= TOL, (
+        f"procs/{schedule}/{threads_per_rank}t: q deviates from seq "
+        f"by {diff:.3e} (tol {TOL:.0e})"
+    )
+    assert res.rms_total == pytest.approx(ref_result.rms_total, abs=TOL)
+
+
+def test_procs_hybrid_reduction_determinism(mini_mesh):
+    """Repeated hybrid overlapped runs are bit-identical.
+
+    Static chunk decomposition + static fold order means the dependency-
+    scheduled pool cannot leak completion order into the rms reduction or
+    the solution, however the OS schedules the threads.
+    """
+    from repro.procs import ProcsConfig, run_procs
+
+    runs = [
+        run_procs(
+            mini_mesh,
+            ProcsConfig(
+                ranks=2, niter=NITER, schedule="overlapped", threads_per_rank=2
+            ),
+        )
+        for _ in range(2)
+    ]
+    assert np.array_equal(runs[0].q, runs[1].q)
+    assert runs[0].rms_total == runs[1].rms_total
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_threads_mode_matches_sim_mode_exactly_per_backend(backend, mini_mesh):
     """Same backend, sim vs threads: state agrees within the matrix tol."""

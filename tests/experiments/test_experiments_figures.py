@@ -9,7 +9,6 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (
-    FigureSeries,
     fig15_exec_time,
     fig16_foreach_chunking,
     fig17_async,

@@ -5,7 +5,6 @@ import pytest
 from repro.backends.costs import LoopCostModel
 from repro.experiments.config import DEFAULT_THREADS, ExperimentConfig, PAPER_CLAIMS
 from repro.experiments.runner import run_backend, simulate_backend, sweep
-from repro.sim.machine import paper_machine
 
 SMALL = ExperimentConfig(ni=16, nj=6, niter=2, block_size=16, threads=(1, 2, 4))
 

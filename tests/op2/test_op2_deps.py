@@ -1,6 +1,5 @@
 """Tests for the dataflow dependence tracker (repro.op2.deps)."""
 
-import numpy as np
 import pytest
 
 from repro.op2 import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.airfoil import AirfoilApp, ReferenceAirfoil, generate_mesh
-from repro.airfoil.validation import max_rel_diff
 from repro.op2 import op2_session
 from repro.op2.exceptions import Op2Error
 from repro.op2.renumber import bandwidth, dual_graph_csr, rcm_order, renumber_mesh

@@ -8,6 +8,7 @@ success and the failure paths.
 
 import json
 import multiprocessing as mp
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -121,11 +122,62 @@ class TestAccounting:
             for e in events
             if e.get("name") == "thread_name"
         }
-        assert {"rank 0", "rank 1"} <= lanes
+        assert {"rank 0 / thread 0", "rank 1 / thread 0"} <= lanes
         assert any(e.get("ph") == "X" for e in events)
         # per-rank intermediates exist alongside the merged trace
         assert (tmp_path / "rank0.json").exists()
         assert (tmp_path / "rank1.json").exists()
+
+    @pytest.mark.parametrize("schedule", ["blocking", "overlapped"])
+    def test_hybrid_trace_has_worker_lanes(self, mesh, tmp_path, schedule):
+        """Hybrid ranks contribute one merged-trace lane per pool worker."""
+        res = run_procs(
+            mesh,
+            ProcsConfig(
+                ranks=2,
+                niter=2,
+                schedule=schedule,
+                threads_per_rank=2,
+                trace_dir=tmp_path / schedule,
+            ),
+        )
+        events = json.loads(Path(res.trace_path).read_text())
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e.get("name") == "thread_name"
+        }
+        for rank in (0, 1):
+            assert f"rank {rank} / thread 0" in lanes
+            # at least one pool-worker lane per rank carried spans
+            assert any(
+                lane.startswith(f"rank {rank} / thread ")
+                and lane != f"rank {rank} / thread 0"
+                for lane in lanes
+            )
+        # every duration event resolves to a declared lane
+        tids = {e["args"]["name"] for e in events if e.get("name") == "thread_name"}
+        assert len(tids) == len(lanes)
+
+    def test_hybrid_timing_summary_per_thread_busy(self, mesh):
+        res = run_procs(
+            mesh,
+            ProcsConfig(
+                ranks=2,
+                niter=2,
+                schedule="overlapped",
+                threads_per_rank=2,
+                timing=True,
+            ),
+        )
+        summary = res.timing_summary()
+        assert summary.num_workers == 4
+        # rank row ranges are disjoint: rank r occupies rows
+        # [1 + r*3, 1 + r*3 + 2] for threads_per_rank=2.
+        assert all(1 <= row <= 6 for row in summary.busy)
+        assert set(summary.kernels) == {
+            "save_soln", "adt_calc", "res_calc", "bres_calc", "update",
+        }
 
 
 class TestFailurePropagation:
@@ -150,6 +202,52 @@ class TestFailurePropagation:
             )
         assert excinfo.value.rank == 0
         assert leaked_segments(excinfo.value.shm_names) == []
+        assert no_rank_children()
+
+    def test_keyboard_interrupt_unlinks_segments(self, mesh, monkeypatch):
+        """Ctrl-C during collection must not leak segments or children."""
+        from repro.procs import driver as driver_mod
+
+        captured = {}
+        real_registry = driver_mod.ShmRegistry
+
+        def capturing(dplan):
+            reg = real_registry(dplan)
+            captured["names"] = reg.segment_names
+            return reg
+
+        monkeypatch.setattr(driver_mod, "ShmRegistry", capturing)
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(driver_mod, "_collect", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            run_procs(mesh, ProcsConfig(ranks=2, niter=NITER))
+        assert leaked_segments(captured["names"]) == []
+        assert no_rank_children()
+
+    def test_driver_exception_unlinks_segments(self, mesh, monkeypatch):
+        """A parent-side crash after the run must still tear everything down."""
+        from repro.procs import driver as driver_mod
+
+        captured = {}
+        real_registry = driver_mod.ShmRegistry
+
+        def capturing(dplan):
+            reg = real_registry(dplan)
+            captured["names"] = reg.segment_names
+            return reg
+
+        monkeypatch.setattr(driver_mod, "ShmRegistry", capturing)
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("driver-side assembly failure")
+
+        monkeypatch.setattr(driver_mod, "_assemble_q", broken)
+        with pytest.raises(RuntimeError, match="assembly failure"):
+            run_procs(mesh, ProcsConfig(ranks=2, niter=1))
+        assert leaked_segments(captured["names"]) == []
         assert no_rank_children()
 
 

@@ -1,7 +1,6 @@
 """Property-based tests: coloring and plan invariants on random meshes."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.op2 import OP_INC, OpDat, OpMap, OpSet, op_arg_dat

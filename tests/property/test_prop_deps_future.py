@@ -1,6 +1,5 @@
 """Property-based tests: dependence-tracker serializability and future algebra."""
 
-import numpy as np
 from hypothesis import given, strategies as st
 
 from repro.hpx.executor import TaskExecutor

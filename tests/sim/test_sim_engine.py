@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.engine import simulate
 from repro.sim.machine import MachineConfig
 from repro.sim.task import TaskGraph, TaskGraphError
 
